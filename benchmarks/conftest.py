@@ -1,0 +1,66 @@
+"""Shared machinery for the benchmark harness.
+
+Each benchmark runs one paper artefact's experiment driver end-to-end
+(workload generation → cutoff fitting → simulation/analysis → rows),
+prints the regenerated rows/series, writes them to ``results/<id>.csv``,
+and asserts the paper's qualitative shape (who wins, roughly by how
+much).  ``pytest benchmarks/ --benchmark-only`` therefore both times the
+pipeline and regenerates every table and figure.
+
+Benchmarks run at a reduced scale (``BENCH_SCALE``) so the whole harness
+finishes in minutes; run the CLI (``repro run fig4``) for paper-scale
+rows.  Qualitative assertions use medians across the sweep to damp
+heavy-tail sampling noise at this scale.
+"""
+
+from __future__ import annotations
+
+import statistics
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+
+#: job-count multiplier for benchmark runs.
+BENCH_SCALE = 0.25
+
+BENCH_CONFIG = ExperimentConfig(scale=BENCH_SCALE, loads=(0.3, 0.5, 0.7, 0.8))
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def run_and_report(benchmark, experiment_id: str, config: ExperimentConfig = BENCH_CONFIG):
+    """Benchmark one experiment driver and emit its rows."""
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment_id, config), rounds=1, iterations=1
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    result.to_csv(RESULTS_DIR / f"{experiment_id}.csv")
+    print()
+    print(result.to_text())
+    return result
+
+
+def series(result, metric: str, **filters):
+    """Extract one metric series from rows matching ``filters``."""
+    out = []
+    for row in result.rows:
+        if all(row.get(k) == v for k, v in filters.items()):
+            out.append(row[metric])
+    if not out:
+        raise AssertionError(f"no rows matching {filters} in {result.experiment_id}")
+    return out
+
+
+def median_ratio(result, metric: str, policy_a: str, policy_b: str, **filters):
+    """Median over the sweep of metric(policy_a)/metric(policy_b)."""
+    a = series(result, metric, policy=policy_a, **filters)
+    b = series(result, metric, policy=policy_b, **filters)
+    assert len(a) == len(b)
+    return statistics.median(x / y for x, y in zip(a, b))
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    return BENCH_CONFIG

@@ -1,0 +1,18 @@
+"""Figure 10 (appendix B) — all policies on the J90 workload.
+
+Paper: "All the results for the J90 trace data are virtually identical"
+to the C90 — the full policy ordering must replicate.
+"""
+
+from __future__ import annotations
+
+from .conftest import median_ratio, run_and_report
+
+
+def test_fig10(benchmark, bench_config):
+    result = run_and_report(benchmark, "fig10", bench_config)
+
+    assert median_ratio(result, "mean_slowdown", "random", "sita-e") > 2.0
+    assert median_ratio(result, "mean_slowdown", "sita-e", "sita-u-opt") > 1.5
+    assert median_ratio(result, "mean_slowdown", "sita-e", "sita-u-fair") > 1.2
+    assert median_ratio(result, "mean_slowdown", "sita-u-fair", "sita-u-opt") < 5.0

@@ -1,0 +1,18 @@
+"""Figure 12 (appendix C) — all policies on the CTC workload.
+
+The CTC log has far lower size variability (12-hour kill cap) yet the
+paper reports "the comparative performance of the task assignment
+policies ... was very similar" — the ordering must survive.
+"""
+
+from __future__ import annotations
+
+from .conftest import median_ratio, run_and_report
+
+
+def test_fig12(benchmark, bench_config):
+    result = run_and_report(benchmark, "fig12", bench_config)
+
+    assert median_ratio(result, "mean_slowdown", "random", "sita-e") > 1.1
+    assert median_ratio(result, "mean_slowdown", "sita-e", "sita-u-opt") > 1.05
+    assert median_ratio(result, "mean_slowdown", "sita-u-fair", "sita-u-opt") < 5.0

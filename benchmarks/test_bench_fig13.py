@@ -1,0 +1,20 @@
+"""Figure 13 (appendix C) — load fraction and the rho/2 rule on CTC."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.rules import rule_of_thumb_fit
+
+from .conftest import run_and_report
+
+
+def test_fig13(benchmark, bench_config):
+    result = run_and_report(benchmark, "fig13", bench_config)
+
+    for variant in ("sita-u-opt", "sita-u-fair"):
+        rows = [r for r in result.rows if r["variant"] == variant]
+        loads = np.array([r["load"] for r in rows])
+        fracs = np.array([r["load_frac_analytic"] for r in rows])
+        assert np.all(fracs < 0.55)
+        assert rule_of_thumb_fit(loads, fracs) < 0.3

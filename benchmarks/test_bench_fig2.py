@@ -1,0 +1,31 @@
+"""Figure 2 — Random vs Least-Work-Left vs SITA-E, 2 hosts (simulation).
+
+Paper shape: Random is far worse than everything; SITA-E beats LWL at
+medium/high loads (factor 3-4 in the paper); the variance gaps are
+larger still.
+"""
+
+from __future__ import annotations
+
+from .conftest import median_ratio, run_and_report, series
+
+
+def test_fig2(benchmark, bench_config):
+    result = run_and_report(benchmark, "fig2", bench_config)
+
+    # Random is by far the worst policy, at every load.
+    rnd = series(result, "mean_slowdown", policy="random")
+    lwl = series(result, "mean_slowdown", policy="least-work-left")
+    assert all(r > l for r, l in zip(rnd, lwl))
+
+    # Paper: Random exceeds SITA-E by ~10x in mean slowdown.
+    assert median_ratio(result, "mean_slowdown", "random", "sita-e") > 3.0
+
+    # SITA-E beats LWL at the high-load points (>= 0.5 in the paper).
+    high = [r for r in result.rows if r["load"] >= 0.7]
+    sita_high = [r["mean_slowdown"] for r in high if r["policy"] == "sita-e"]
+    lwl_high = [r["mean_slowdown"] for r in high if r["policy"] == "least-work-left"]
+    assert sum(sita_high) < sum(lwl_high)
+
+    # Variance in slowdown: SITA-E well below Random.
+    assert median_ratio(result, "var_slowdown", "random", "sita-e") > 5.0

@@ -1,0 +1,29 @@
+"""Figure 4 — SITA-E vs SITA-U-opt vs SITA-U-fair (the headline result).
+
+Paper shape: both load-unbalancing variants improve on SITA-E by 4-10x
+in mean slowdown and 10-100x in variance over loads 0.5-0.8, and
+SITA-U-fair is only a slight bit worse than SITA-U-opt.
+"""
+
+from __future__ import annotations
+
+from .conftest import median_ratio, run_and_report
+
+
+def test_fig4(benchmark, bench_config):
+    result = run_and_report(benchmark, "fig4", bench_config)
+
+    # The unbalancing win in mean slowdown.
+    assert median_ratio(result, "mean_slowdown", "sita-e", "sita-u-opt") > 2.0
+    assert median_ratio(result, "mean_slowdown", "sita-e", "sita-u-fair") > 1.5
+
+    # The (even larger) variance win.
+    assert median_ratio(result, "var_slowdown", "sita-e", "sita-u-opt") > 2.0
+
+    # Fair is close to opt.
+    assert median_ratio(result, "mean_slowdown", "sita-u-fair", "sita-u-opt") < 4.0
+
+    # The mechanism: both SITA-U variants underload Host 1.
+    for row in result.rows:
+        if row["policy"].startswith("sita-u") and row["load"] >= 0.5:
+            assert row["load_frac_host0"] < 0.55

@@ -1,0 +1,32 @@
+"""Figure 5 — fraction of total load on Host 1 and the rho/2 rule.
+
+Paper shape: under both SITA-U-opt and SITA-U-fair the short-job host
+receives less than half the load, the fraction grows with the system
+load, and it roughly tracks rho/2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.rules import rule_of_thumb_fit
+
+from .conftest import run_and_report
+
+
+def test_fig5(benchmark, bench_config):
+    result = run_and_report(benchmark, "fig5", bench_config)
+
+    for variant in ("sita-u-opt", "sita-u-fair"):
+        rows = [r for r in result.rows if r["variant"] == variant]
+        loads = np.array([r["load"] for r in rows])
+        fracs = np.array([r["load_frac_analytic"] for r in rows])
+
+        # Host 1 is underloaded everywhere (SITA-E would sit at 0.5).
+        assert np.all(fracs < 0.5)
+
+        # The fraction grows with system load (both in the paper's fig 5).
+        assert fracs[np.argsort(loads)][-1] > fracs[np.argsort(loads)][0]
+
+        # Rule-of-thumb quality: RMS distance from rho/2 stays moderate.
+        assert rule_of_thumb_fit(loads, fracs) < 0.25

@@ -1,0 +1,45 @@
+"""Figure 6 — systems with more than 4 machines at load 0.7.
+
+Paper shape: grouped SITA-E beats LWL for small host counts but loses
+for large ones; the SITA-U variants dominate until all policies become
+comparable around h ≈ 70.
+"""
+
+from __future__ import annotations
+
+from .conftest import run_and_report
+
+
+def pick(result, policy, n_hosts):
+    for row in result.rows:
+        if row["policy"] == policy and row["n_hosts"] == n_hosts:
+            return row["mean_slowdown"]
+    raise AssertionError(f"missing {policy} at h={n_hosts}")
+
+
+def test_fig6(benchmark, bench_config):
+    result = run_and_report(benchmark, "fig6", bench_config)
+
+    # Small h: SITA-E beats LWL.
+    assert pick(result, "sita-e+lwl", 2) < pick(result, "least-work-left", 2)
+
+    # Large h: LWL catches up as idle hosts become likely (it is the
+    # policy that exploits them): SITA-E's advantage collapses from
+    # several-fold at h=2 to nothing by h=80, where both policies sit at
+    # slowdown ~1 and the strict ordering is noise.
+    gap_small = pick(result, "least-work-left", 2) / pick(result, "sita-e+lwl", 2)
+    gap_large = pick(result, "least-work-left", 80) / pick(result, "sita-e+lwl", 80)
+    assert gap_small > 1.5
+    assert gap_large < 1.1
+    assert pick(result, "least-work-left", 80) < 1.2  # converged to ~no waiting
+
+    # SITA-U stays ahead of plain LWL at moderate host counts.
+    assert pick(result, "sita-u-opt+lwl", 8) < pick(result, "least-work-left", 8)
+
+    # Convergence: at h = 80 every policy is within a modest factor of LWL.
+    lwl80 = pick(result, "least-work-left", 80)
+    for policy in ("sita-u-opt+lwl", "sita-u-fair+lwl"):
+        assert pick(result, policy, 80) < 25 * lwl80
+
+    # LWL improves monotonically-ish in h (more pooling).
+    assert pick(result, "least-work-left", 64) < pick(result, "least-work-left", 2)

@@ -1,0 +1,28 @@
+"""Figure 7 — non-Poisson (bursty) arrivals.
+
+Paper shape: SITA-U still wins for the realistic load range (0.6-0.9);
+arrival variability favours LWL as the load approaches 1, shrinking
+SITA-U's advantage (the paper sees an outright crossover above 0.95 on
+its proprietary scaled trace; we reproduce the monotone trend — see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from .conftest import run_and_report, series
+
+
+def test_fig7(benchmark, bench_config):
+    result = run_and_report(benchmark, "fig7", bench_config)
+
+    def ratio_at(load):
+        fair = series(result, "mean_slowdown", policy="sita-u-fair", load=load)[0]
+        lwl = series(result, "mean_slowdown", policy="least-work-left", load=load)[0]
+        return fair / lwl
+
+    # SITA-U wins comfortably in the realistic range.
+    for load in (0.6, 0.7, 0.8, 0.9):
+        assert ratio_at(load) < 1.0
+
+    # ... but its advantage shrinks as the load approaches 1.
+    assert ratio_at(0.98) > ratio_at(0.7)

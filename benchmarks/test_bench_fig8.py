@@ -1,0 +1,32 @@
+"""Figure 8 (appendix A) — analytic mean slowdown of the balanced policies.
+
+Paper shape: same ordering as the simulation (fig 2), with Round-Robin
+close to Random; and close numeric agreement with the fig 2 simulation.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+from .conftest import run_and_report, series
+
+
+def test_fig8(benchmark, bench_config):
+    result = run_and_report(benchmark, "fig8", bench_config)
+
+    for load in bench_config.sweep_loads():
+        rnd = series(result, "mean_slowdown", policy="random", load=load)[0]
+        rr = series(result, "mean_slowdown", policy="round-robin", load=load)[0]
+        lwl = series(result, "mean_slowdown", policy="least-work-left", load=load)[0]
+        sita = series(result, "mean_slowdown", policy="sita-e", load=load)[0]
+        assert rnd > lwl > sita
+        assert abs(rr - rnd) / rnd < 0.5  # RR ~ Random (paper §3.3)
+
+    # Analysis agrees with the trace-driven simulation (paper appendix A:
+    # "in very close agreement with the simulation results").
+    sim = run_experiment("fig2", bench_config)
+    for policy in ("random", "sita-e"):
+        for load in (0.5, 0.7):
+            ana = series(result, "mean_slowdown", policy=policy, load=load)[0]
+            obs = series(sim, "mean_slowdown", policy=policy, load=load)[0]
+            assert 0.1 < obs / ana < 10.0, (policy, load, ana, obs)

@@ -1,0 +1,30 @@
+"""Figure 9 (appendix A) — analytic mean slowdown of the SITA family.
+
+Paper shape: SITA-U-opt <= SITA-U-fair < SITA-E at every load, with
+agreement against the fig 4 simulation.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+from .conftest import run_and_report, series
+
+
+def test_fig9(benchmark, bench_config):
+    result = run_and_report(benchmark, "fig9", bench_config)
+
+    for load in bench_config.sweep_loads():
+        e = series(result, "mean_slowdown", policy="sita-e", load=load)[0]
+        opt = series(result, "mean_slowdown", policy="sita-u-opt", load=load)[0]
+        fair = series(result, "mean_slowdown", policy="sita-u-fair", load=load)[0]
+        assert opt <= fair * (1 + 1e-9)  # opt optimises exactly this metric
+        assert fair < e
+        assert opt < e / 2.0  # the unbalancing win is large
+
+    # Agreement with the simulated fig 4.
+    sim = run_experiment("fig4", bench_config)
+    for load in (0.5, 0.7):
+        ana = series(result, "mean_slowdown", policy="sita-u-fair", load=load)[0]
+        obs = series(sim, "mean_slowdown", policy="sita-u-fair", load=load)[0]
+        assert 0.2 < obs / ana < 5.0, (load, ana, obs)

@@ -1,0 +1,37 @@
+"""Table 1 — characteristics of the trace data.
+
+Regenerates the paper's workload-characteristics table from the
+calibrated synthetic distributions and one sampled trace each, and
+checks the published statistics are hit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from .conftest import run_and_report
+
+
+def test_table1(benchmark, bench_config):
+    result = run_and_report(benchmark, "table1", bench_config)
+
+    targets = {row["system"]: row for row in result.rows if row["kind"] == "target"}
+    sampled = {row["system"]: row for row in result.rows if row["kind"] == "sampled"}
+
+    # Calibration targets = the paper's published statistics.
+    assert targets["c90"]["mean_service"] == pytest.approx(4562.6, rel=1e-6)
+    assert targets["c90"]["scv"] == pytest.approx(43.0, rel=1e-6)
+    assert targets["j90"]["scv"] == pytest.approx(39.0, rel=1e-6)
+    assert targets["ctc"]["max_service"] <= 43_200.0
+
+    # Sampled traces must land near their targets (heavy-tail tolerance).
+    for name in ("c90", "j90", "ctc"):
+        assert sampled[name]["mean_service"] == pytest.approx(
+            targets[name]["mean_service"], rel=0.25
+        )
+
+    # The paper's structural fact: a tiny fraction of the largest jobs is
+    # half the C90 load (1.3% in the paper; a few percent here).
+    assert targets["c90"]["half_load_tail"] < 0.06
+    # The CTC cap keeps its variability far below the Crays'.
+    assert targets["ctc"]["scv"] < targets["c90"]["scv"] / 5

@@ -1,0 +1,82 @@
+"""Scenario: is your scheduler biased against long jobs?
+
+The classical objection to favouring short jobs (SJF-style) is starvation
+of the long ones.  The paper's SITA-U-fair answers it: help short jobs
+*and* keep the expected slowdown equal across size classes.  This script
+makes the fairness story visible by printing the slowdown-versus-size
+profile (mean slowdown per log-spaced size decile) under four policies,
+plus the scalar fairness gap of each.
+
+Run:  python examples/fairness_study.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    LeastWorkLeftPolicy,
+    RandomPolicy,
+    SITAPolicy,
+    c90,
+    equal_load_cutoffs,
+    fair_cutoff,
+    simulate,
+    slowdown_profile,
+)
+from repro.core.fairness import class_fairness_gap
+
+LOAD = 0.7
+N_BUCKETS = 8
+
+
+def main() -> None:
+    workload = c90()
+    dist = workload.service_dist
+    trace = workload.make_trace(load=LOAD, n_hosts=2, n_jobs=150_000, rng=11)
+
+    c_fair = fair_cutoff(LOAD, dist)
+    policies = [
+        RandomPolicy(),
+        LeastWorkLeftPolicy(),
+        SITAPolicy(equal_load_cutoffs(dist, 2), name="sita-e"),
+        SITAPolicy([c_fair], name="sita-u-fair"),
+    ]
+
+    profiles = {}
+    gaps = {}
+    for policy in policies:
+        result = simulate(trace, policy, 2, rng=0)
+        profiles[policy.name] = slowdown_profile(
+            result, n_buckets=N_BUCKETS, warmup_fraction=0.05
+        )
+        gaps[policy.name] = class_fairness_gap(result, c_fair, warmup_fraction=0.05)
+
+    any_profile = next(iter(profiles.values()))
+    print(f"mean slowdown per job-size bucket (C90-like workload, load {LOAD}):\n")
+    header = f"{'size bucket':>22s}" + "".join(f"{n:>14s}" for n in profiles)
+    print(header)
+    print("-" * len(header))
+    for b in range(N_BUCKETS):
+        lo, hi = any_profile.edges[b], any_profile.edges[b + 1]
+        row = f"{lo:>9.3g} – {hi:<9.3g}"
+        for name, p in profiles.items():
+            v = p.mean_slowdown[b]
+            row += f"{v:14.1f}" if p.counts[b] else f"{'—':>14s}"
+        print(row)
+
+    print(f"\nE[slowdown | short] / E[slowdown | long] at cutoff {c_fair:,.0f}s:")
+    for name, gap in gaps.items():
+        verdict = "fair" if 0.5 < gap < 2.0 else (
+            "biased against SHORT jobs" if gap > 1 else "biased against LONG jobs"
+        )
+        print(f"  {name:14s} {gap:8.2f}   ({verdict})")
+
+    print(
+        "\nReading: under the balanced policies the short jobs (which "
+        "dominate the job count)\nsuffer slowdowns in the thousands while "
+        "the elephants barely notice the queue;\nSITA-U-fair flattens the "
+        "profile without starving anyone."
+    )
+
+
+if __name__ == "__main__":
+    main()

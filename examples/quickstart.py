@@ -1,0 +1,69 @@
+"""Quickstart: compare task assignment policies on a supercomputing workload.
+
+Builds the paper's C90-like workload, derives the three SITA cutoffs, and
+prints mean slowdown / variance of slowdown / mean response time for every
+policy at one system load — a one-screen tour of the library.
+
+Run:  python examples/quickstart.py [load]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    CentralQueuePolicy,
+    LeastWorkLeftPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    SITAPolicy,
+    ShortestQueuePolicy,
+    c90,
+    equal_load_cutoffs,
+    fair_cutoff,
+    opt_cutoff,
+    simulate,
+)
+
+
+def main() -> None:
+    load = float(sys.argv[1]) if len(sys.argv) > 1 else 0.7
+    n_hosts = 2
+    workload = c90()
+    dist = workload.service_dist
+
+    print(f"workload: {workload.description}")
+    print(f"          mean={dist.mean:.0f}s  C^2={dist.scv:.0f}  load={load}  hosts={n_hosts}\n")
+
+    trace = workload.make_trace(load=load, n_hosts=n_hosts, n_jobs=100_000, rng=1)
+
+    policies = [
+        RandomPolicy(),
+        RoundRobinPolicy(),
+        ShortestQueuePolicy(),
+        LeastWorkLeftPolicy(),
+        CentralQueuePolicy(),
+        SITAPolicy(equal_load_cutoffs(dist, n_hosts), name="sita-e"),
+        SITAPolicy([opt_cutoff(load, dist)], name="sita-u-opt"),
+        SITAPolicy([fair_cutoff(load, dist)], name="sita-u-fair"),
+    ]
+
+    header = f"{'policy':16s} {'mean slowdown':>14s} {'var slowdown':>14s} {'mean response':>14s}"
+    print(header)
+    print("-" * len(header))
+    for policy in policies:
+        summary = simulate(trace, policy, n_hosts, rng=0).summary(warmup_fraction=0.05)
+        print(
+            f"{policy.name:16s} {summary.mean_slowdown:14.1f} "
+            f"{summary.var_slowdown:14.3g} {summary.mean_response:14.0f}"
+        )
+
+    print(
+        "\nThe load-unbalancing SITA-U policies (the paper's contribution) "
+        "should dominate;\nsee examples/fairness_study.py for why that is "
+        "also the fair thing to do."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Queueing analysis substrate: M/G/1, M/M/h, M/G/h, G/G/1, SITA."""
+
+from .gg1 import GG1Metrics, erlang_arrival_scv, gg1_metrics
+from .mg1 import MG1Metrics, mg1_metrics, mg1_ps_mean_slowdown, utilisation
+from .mgh import MGhMetrics, mgh_metrics
+from .mmh import MMhMetrics, erlang_b, erlang_c, mmh_metrics
+from .policies import (
+    PolicyPrediction,
+    arrival_rate_for_load,
+    predict_grouped_sita,
+    predict_lwl,
+    predict_lwl_bursty,
+    predict_random,
+    predict_round_robin,
+    predict_sita,
+    predict_sita_bursty,
+)
+from .sita_analysis import SITAAnalysis, SITAHost, analyze_sita, sita_host_loads
+from .transforms import LaplaceEvaluator, mg1_waiting_cdf, mg1_waiting_slowdown_ccdf
+
+__all__ = [
+    "GG1Metrics",
+    "erlang_arrival_scv",
+    "gg1_metrics",
+    "MG1Metrics",
+    "mg1_metrics",
+    "mg1_ps_mean_slowdown",
+    "utilisation",
+    "MGhMetrics",
+    "mgh_metrics",
+    "MMhMetrics",
+    "erlang_b",
+    "erlang_c",
+    "mmh_metrics",
+    "PolicyPrediction",
+    "arrival_rate_for_load",
+    "predict_grouped_sita",
+    "predict_lwl",
+    "predict_lwl_bursty",
+    "predict_random",
+    "predict_round_robin",
+    "predict_sita",
+    "predict_sita_bursty",
+    "SITAAnalysis",
+    "SITAHost",
+    "analyze_sita",
+    "sita_host_loads",
+    "LaplaceEvaluator",
+    "mg1_waiting_cdf",
+    "mg1_waiting_slowdown_ccdf",
+]

@@ -1,0 +1,62 @@
+"""G/G/1 approximations — the analytic model of Round-Robin splitting.
+
+Round-Robin splitting of a Poisson(λ) stream hands each of ``h`` hosts an
+Erlang-h renewal arrival process (interarrival SCV ``Ca² = 1/h``) at rate
+λ/h — an ``E_h/G/1`` queue (paper section 3.3).  No exact formula exists
+for general service, so we use the Allen–Cunneen / Kingman-style
+approximation, exact in the M/G/1 case (``Ca² = 1``):
+
+    ``E[W] ≈ (Ca² + Cs²)/2 · ρ/(1 − ρ) · E[X] · ... `` in the Marchal form
+    ``E[W] ≈ E[W_{M/G/1}] · (Ca² + Cs²)/(1 + Cs²)``
+
+which interpolates the PK mean wait by the arrival variability.  It also
+covers the bursty-arrival regime of section 6 (``Ca² ≫ 1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..workloads.distributions import ServiceDistribution
+from .mg1 import mg1_metrics, safe_inverse_moments
+
+__all__ = ["GG1Metrics", "gg1_metrics", "erlang_arrival_scv"]
+
+
+def erlang_arrival_scv(n_hosts: int) -> float:
+    """Interarrival SCV seen by one host under Round-Robin splitting."""
+    if n_hosts < 1:
+        raise ValueError(f"n_hosts must be >= 1, got {n_hosts}")
+    return 1.0 / n_hosts
+
+
+@dataclass(frozen=True)
+class GG1Metrics:
+    """Approximate steady-state metrics of a G/G/1 FCFS queue."""
+
+    utilisation: float
+    arrival_scv: float
+    mean_wait: float
+    mean_response: float
+    mean_waiting_slowdown: float
+    mean_slowdown: float
+
+
+def gg1_metrics(
+    arrival_rate: float, dist: ServiceDistribution, arrival_scv: float
+) -> GG1Metrics:
+    """Approximate a G/G/1 queue with interarrival SCV ``arrival_scv``."""
+    if arrival_scv < 0:
+        raise ValueError(f"arrival_scv must be >= 0, got {arrival_scv}")
+    base = mg1_metrics(arrival_rate, dist)
+    cs2 = dist.scv
+    ew = base.mean_wait * (arrival_scv + cs2) / (1.0 + cs2)
+    mean_wslow = ew * safe_inverse_moments(dist)[0]
+    return GG1Metrics(
+        utilisation=base.utilisation,
+        arrival_scv=arrival_scv,
+        mean_wait=ew,
+        mean_response=ew + dist.mean,
+        mean_waiting_slowdown=mean_wslow,
+        mean_slowdown=1.0 + mean_wslow,
+    )

@@ -1,0 +1,74 @@
+"""M/M/h analysis (Erlang-C) — building block for the M/G/h approximation.
+
+For ``h`` identical exponential servers with total offered load
+``a = λ/μ`` and per-server utilisation ``ρ = a/h < 1``:
+
+* ``ErlangC(h, a)`` is the probability an arrival must queue;
+* ``E[W] = ErlangC / (hμ − λ)``; ``E[Q] = λ E[W]`` (Little).
+
+The Erlang-C probability is computed through the numerically stable
+recurrence on the Erlang-B blocking probability
+``B(0)=1; B(k) = a·B(k−1) / (k + a·B(k−1))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["erlang_b", "erlang_c", "MMhMetrics", "mmh_metrics"]
+
+
+def erlang_b(n_servers: int, offered_load: float) -> float:
+    """Erlang-B blocking probability for ``n_servers`` and load ``a``."""
+    if n_servers < 1:
+        raise ValueError(f"n_servers must be >= 1, got {n_servers}")
+    if offered_load <= 0:
+        raise ValueError(f"offered_load must be positive, got {offered_load}")
+    b = 1.0
+    for k in range(1, n_servers + 1):
+        b = offered_load * b / (k + offered_load * b)
+    return b
+
+
+def erlang_c(n_servers: int, offered_load: float) -> float:
+    """Erlang-C queueing probability (requires ``offered_load < n_servers``)."""
+    if offered_load >= n_servers:
+        raise ValueError(
+            f"unstable system: offered load {offered_load} >= {n_servers} servers"
+        )
+    b = erlang_b(n_servers, offered_load)
+    rho = offered_load / n_servers
+    return b / (1.0 - rho * (1.0 - b))
+
+
+@dataclass(frozen=True)
+class MMhMetrics:
+    """Steady-state metrics of an M/M/h FCFS queue."""
+
+    n_servers: int
+    utilisation: float
+    prob_wait: float
+    mean_wait: float
+    mean_queue_length: float
+    mean_response: float
+
+
+def mmh_metrics(arrival_rate: float, mean_service: float, n_servers: int) -> MMhMetrics:
+    """Evaluate the M/M/h queue at rate λ with mean service E[X]."""
+    if arrival_rate <= 0 or mean_service <= 0:
+        raise ValueError("arrival_rate and mean_service must be positive")
+    a = arrival_rate * mean_service
+    rho = a / n_servers
+    if rho >= 1.0:
+        raise ValueError(f"unstable system: utilisation {rho:.4f} >= 1")
+    c = erlang_c(n_servers, a)
+    mu = 1.0 / mean_service
+    ew = c / (n_servers * mu - arrival_rate)
+    return MMhMetrics(
+        n_servers=n_servers,
+        utilisation=rho,
+        prob_wait=c,
+        mean_wait=ew,
+        mean_queue_length=arrival_rate * ew,
+        mean_response=ew + mean_service,
+    )

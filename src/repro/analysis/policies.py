@@ -1,0 +1,274 @@
+"""Analytic mean-performance predictions per task-assignment policy.
+
+One function per policy family, each mirroring the paper's section 3.3
+reasoning, all parameterised by *system load* ρ (so the figures 8/9 sweeps
+read naturally).  The arrival rate is λ = ρ·h/E[X].
+
+* Random — Bernoulli splitting ⇒ each host an independent M/G/1 at
+  rate λ/h with the *unreduced* service distribution;
+* Round-Robin — E_h/G/1 per host (Allen–Cunneen approximation);
+* Least-Work-Left / Central-Queue — M/G/h approximation;
+* SITA — per-host M/G/1 on size slices (:mod:`.sita_analysis`).
+
+For Random and Round-Robin, per-job metrics equal per-host metrics (every
+job sees a statistically identical host).  Variance of slowdown is exact
+for Random/SITA (M/G/1 with Takács); no usable second-moment formula
+exists for M/G/h or E_h/G/1, so those report ``nan`` variance — matching
+the paper, whose analysis section also only compares means.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..workloads.distributions import ServiceDistribution
+from .gg1 import erlang_arrival_scv, gg1_metrics
+from .mg1 import mg1_metrics
+from .mgh import mgh_metrics
+from .sita_analysis import analyze_sita
+
+__all__ = ["PolicyPrediction", "predict_random", "predict_round_robin",
+           "predict_lwl", "predict_sita", "predict_grouped_sita",
+           "predict_sita_bursty", "predict_lwl_bursty",
+           "arrival_rate_for_load"]
+
+
+def arrival_rate_for_load(load: float, dist: ServiceDistribution, n_hosts: int) -> float:
+    """λ = ρ·h/E[X] (system-load convention used throughout the paper)."""
+    if not 0.0 < load < 1.0:
+        raise ValueError(f"system load must be in (0,1), got {load}")
+    return load * n_hosts / dist.mean
+
+
+@dataclass(frozen=True)
+class PolicyPrediction:
+    """Analytic steady-state prediction for one policy at one load."""
+
+    policy: str
+    load: float
+    n_hosts: int
+    mean_slowdown: float
+    mean_waiting_slowdown: float
+    var_slowdown: float
+    mean_response: float
+    mean_wait: float
+
+
+def predict_random(
+    load: float, dist: ServiceDistribution, n_hosts: int
+) -> PolicyPrediction:
+    """Random splitting: h independent M/G/1 queues at rate λ/h each."""
+    lam = arrival_rate_for_load(load, dist, n_hosts)
+    m = mg1_metrics(lam / n_hosts, dist)
+    inv2 = dist.inverse_second_moment
+    es2 = 1.0 + 2.0 * m.mean_wait * dist.inverse_moment + m.second_moment_wait * inv2
+    return PolicyPrediction(
+        policy="random",
+        load=load,
+        n_hosts=n_hosts,
+        mean_slowdown=m.mean_slowdown,
+        mean_waiting_slowdown=m.mean_waiting_slowdown,
+        var_slowdown=es2 - m.mean_slowdown**2,
+        mean_response=m.mean_response,
+        mean_wait=m.mean_wait,
+    )
+
+
+def predict_round_robin(
+    load: float, dist: ServiceDistribution, n_hosts: int
+) -> PolicyPrediction:
+    """Round-Robin: each host an E_h/G/1 queue at rate λ/h."""
+    lam = arrival_rate_for_load(load, dist, n_hosts)
+    m = gg1_metrics(lam / n_hosts, dist, erlang_arrival_scv(n_hosts))
+    return PolicyPrediction(
+        policy="round-robin",
+        load=load,
+        n_hosts=n_hosts,
+        mean_slowdown=m.mean_slowdown,
+        mean_waiting_slowdown=m.mean_waiting_slowdown,
+        var_slowdown=math.nan,
+        mean_response=m.mean_response,
+        mean_wait=m.mean_wait,
+    )
+
+
+def predict_lwl(
+    load: float, dist: ServiceDistribution, n_hosts: int
+) -> PolicyPrediction:
+    """Least-Work-Left / Central-Queue: the M/G/h approximation."""
+    lam = arrival_rate_for_load(load, dist, n_hosts)
+    m = mgh_metrics(lam, dist, n_hosts)
+    return PolicyPrediction(
+        policy="least-work-left",
+        load=load,
+        n_hosts=n_hosts,
+        mean_slowdown=m.mean_slowdown,
+        mean_waiting_slowdown=m.mean_waiting_slowdown,
+        var_slowdown=math.nan,
+        mean_response=m.mean_response,
+        mean_wait=m.mean_wait,
+    )
+
+
+def predict_grouped_sita(
+    load: float,
+    dist: ServiceDistribution,
+    n_hosts: int,
+    cutoff: float,
+    n_short_hosts: int,
+    policy_name: str = "grouped-sita",
+) -> PolicyPrediction:
+    """Section-5 grouped SITA: per-group M/G/h approximation.
+
+    A single size cutoff splits the stream; the short group's
+    ``n_short_hosts`` hosts run Least-Work-Left among themselves (an
+    M/G/h_short queue on the conditional short distribution) and likewise
+    for the long group.  Job-fraction mixing gives the system metrics —
+    the analytic counterpart of :class:`~repro.core.policies.GroupedSITAPolicy`,
+    exact in the same sense the M/G/h approximation is.
+    """
+    if not 1 <= n_short_hosts < n_hosts:
+        raise ValueError(
+            f"need 1 <= n_short_hosts < n_hosts, got {n_short_hosts}/{n_hosts}"
+        )
+    lam = arrival_rate_for_load(load, dist, n_hosts)
+    mean_slow = 0.0
+    mean_wslow = 0.0
+    mean_resp = 0.0
+    mean_wait = 0.0
+    groups = (
+        (0.0, cutoff, n_short_hosts),
+        (cutoff, math.inf, n_hosts - n_short_hosts),
+    )
+    for lo, hi, h_group in groups:
+        p = dist.prob_interval(lo, hi)
+        if p <= 0.0:
+            continue
+        cond = dist.conditional(lo, hi)
+        m = mgh_metrics(lam * p, cond, h_group)
+        mean_slow += p * m.mean_slowdown
+        mean_wslow += p * m.mean_waiting_slowdown
+        mean_resp += p * m.mean_response
+        mean_wait += p * m.mean_wait
+    return PolicyPrediction(
+        policy=policy_name,
+        load=load,
+        n_hosts=n_hosts,
+        mean_slowdown=mean_slow,
+        mean_waiting_slowdown=mean_wslow,
+        var_slowdown=math.nan,
+        mean_response=mean_resp,
+        mean_wait=mean_wait,
+    )
+
+
+def predict_sita(
+    load: float,
+    dist: ServiceDistribution,
+    n_hosts: int,
+    cutoffs: Sequence[float],
+    policy_name: str = "sita",
+) -> PolicyPrediction:
+    """SITA with explicit cutoffs: per-host M/G/1 on size slices."""
+    lam = arrival_rate_for_load(load, dist, n_hosts)
+    a = analyze_sita(lam, dist, cutoffs)
+    return PolicyPrediction(
+        policy=policy_name,
+        load=load,
+        n_hosts=n_hosts,
+        mean_slowdown=a.mean_slowdown,
+        mean_waiting_slowdown=a.mean_waiting_slowdown,
+        var_slowdown=a.var_slowdown,
+        mean_response=a.mean_response,
+        mean_wait=a.mean_wait,
+    )
+
+
+def predict_sita_bursty(
+    load: float,
+    dist: ServiceDistribution,
+    n_hosts: int,
+    cutoffs: Sequence[float],
+    arrival_scv: float,
+    policy_name: str = "sita-bursty",
+) -> PolicyPrediction:
+    """SITA under a *bursty* (renewal, SCV > 1) arrival stream — the §6
+    regime the paper calls "analytically intractable" and studies only by
+    simulation.
+
+    Approximation: size-marking splits the renewal stream independently,
+    and the thinned stream keeping each arrival with probability ``p`` has
+    interarrival SCV ``≈ 1 + p·(Ca² − 1)`` (exact for the first two
+    moments of a geometric sum of i.i.d. interarrivals).  Each host is
+    then an Allen–Cunneen G/G/1 on its size slice: the short host — which
+    keeps ~98 % of arrivals — inherits nearly the full burstiness, while
+    the long host's trickle looks almost Poisson.  That asymmetry is the
+    quantitative core of the paper's §6 discussion.
+    """
+    from .gg1 import gg1_metrics
+
+    if arrival_scv < 0:
+        raise ValueError(f"arrival_scv must be >= 0, got {arrival_scv}")
+    lam = arrival_rate_for_load(load, dist, n_hosts)
+    edges = [0.0, *cutoffs, math.inf]
+    mean_slow = 0.0
+    mean_wslow = 0.0
+    mean_resp = 0.0
+    mean_wait = 0.0
+    for lo, hi in zip(edges, edges[1:]):
+        p = dist.prob_interval(lo, hi)
+        if p <= 0.0:
+            continue
+        cond = dist.conditional(lo, hi)
+        thinned_scv = 1.0 + p * (arrival_scv - 1.0)
+        m = gg1_metrics(lam * p, cond, thinned_scv)
+        mean_slow += p * m.mean_slowdown
+        mean_wslow += p * m.mean_waiting_slowdown
+        mean_resp += p * m.mean_response
+        mean_wait += p * m.mean_wait
+    return PolicyPrediction(
+        policy=policy_name,
+        load=load,
+        n_hosts=n_hosts,
+        mean_slowdown=mean_slow,
+        mean_waiting_slowdown=mean_wslow,
+        var_slowdown=math.nan,
+        mean_response=mean_resp,
+        mean_wait=mean_wait,
+    )
+
+
+def predict_lwl_bursty(
+    load: float,
+    dist: ServiceDistribution,
+    n_hosts: int,
+    arrival_scv: float,
+) -> PolicyPrediction:
+    """LWL/Central-Queue under bursty renewal arrivals.
+
+    G/G/h via the same interpolation as :func:`predict_lwl` scaled by
+    the Kingman arrival factor ``(Ca² + Cs²)/(1 + Cs²)`` — crude, but it
+    captures the one §6 effect that matters: LWL's wait grows only
+    linearly in Ca² while keeping its pooling advantage.
+    """
+    if arrival_scv < 0:
+        raise ValueError(f"arrival_scv must be >= 0, got {arrival_scv}")
+    base = predict_lwl(load, dist, n_hosts)
+    cs2 = dist.scv
+    factor = (arrival_scv + cs2) / (1.0 + cs2)
+    ew = base.mean_wait * factor
+    from .mg1 import safe_inverse_moments
+
+    wslow = ew * safe_inverse_moments(dist)[0]
+    return PolicyPrediction(
+        policy="least-work-left-bursty",
+        load=load,
+        n_hosts=n_hosts,
+        mean_slowdown=1.0 + wslow,
+        mean_waiting_slowdown=wslow,
+        var_slowdown=math.nan,
+        mean_response=ew + dist.mean,
+        mean_wait=ew,
+    )

@@ -1,0 +1,202 @@
+"""Analytic evaluation of SITA policies — per-host M/G/1 on size slices.
+
+Under a SITA policy with cutoffs ``c_1 < … < c_{h−1}``, host ``i`` receives
+a thinned Poisson stream (rate ``λ·p_i`` with ``p_i = P(c_{i−1} < X ≤ c_i)``)
+of jobs whose sizes follow the *conditional* distribution on that interval.
+Each host is therefore an independent M/G/1 FCFS queue and Theorem 1
+applies per host; mixing over the job classes gives the system-wide
+metrics the paper reports:
+
+* ``E[S] = Σ_i p_i · E[S_i]``
+* ``E[S²] = Σ_i p_i · E[S_i²]``, so ``Var[S] = E[S²] − E[S]²``
+* per-host utilisation ``ρ_i = λ·p_i·E[X_i]`` — the *load profile* that
+  figure 5 plots, and whose feasibility (``ρ_i < 1`` for all i) bounds
+  the cutoff search space.
+
+This module is the engine behind figures 5, 8 and 9 and behind the
+analytic cutoff searches in :mod:`repro.core.cutoffs`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..workloads.distributions import ServiceDistribution
+from .mg1 import MG1Metrics, mg1_metrics, safe_inverse_moments
+
+__all__ = ["SITAHost", "SITAAnalysis", "analyze_sita", "sita_host_loads"]
+
+
+@dataclass(frozen=True)
+class SITAHost:
+    """One host's slice of the size axis and its M/G/1 metrics."""
+
+    host: int
+    lo: float
+    hi: float
+    #: fraction of *jobs* routed here.
+    job_fraction: float
+    #: fraction of total *work* routed here.
+    load_fraction: float
+    #: host utilisation ρ_i.
+    utilisation: float
+    #: per-host queue metrics (None when the slice is empty).
+    mg1: MG1Metrics | None
+    #: expected response slowdown of this size class (nominal sizes);
+    #: NaN for an empty slice.
+    class_mean_slowdown: float = math.nan
+
+
+@dataclass(frozen=True)
+class SITAAnalysis:
+    """System-wide analytic metrics of a SITA policy."""
+
+    cutoffs: tuple[float, ...]
+    hosts: tuple[SITAHost, ...]
+    mean_slowdown: float
+    var_slowdown: float
+    mean_waiting_slowdown: float
+    mean_response: float
+    mean_wait: float
+
+    @property
+    def feasible(self) -> bool:
+        return all(h.utilisation < 1.0 for h in self.hosts)
+
+    def class_mean_slowdowns(self) -> tuple[float, ...]:
+        """Expected slowdown per size class (equal ⇔ SITA-U-fair)."""
+        return tuple(h.class_mean_slowdown for h in self.hosts)
+
+
+def _intervals(
+    dist: ServiceDistribution, cutoffs: Sequence[float]
+) -> list[tuple[float, float]]:
+    edges = [0.0, *cutoffs, math.inf]
+    return [(edges[i], edges[i + 1]) for i in range(len(edges) - 1)]
+
+
+def sita_host_loads(
+    arrival_rate: float, dist: ServiceDistribution, cutoffs: Sequence[float]
+) -> np.ndarray:
+    """Per-host utilisations ρ_i (cheap feasibility probe for searches)."""
+    return np.array(
+        [
+            arrival_rate * dist.partial_moment(1.0, lo, hi)
+            for lo, hi in _intervals(dist, cutoffs)
+        ]
+    )
+
+
+def analyze_sita(
+    arrival_rate: float,
+    dist: ServiceDistribution,
+    cutoffs: Sequence[float],
+    host_speeds: Sequence[float] | None = None,
+) -> SITAAnalysis:
+    """Evaluate a SITA policy analytically.
+
+    Parameters
+    ----------
+    arrival_rate:
+        Rate λ of the *total* Poisson job stream.
+    dist:
+        Distribution of job sizes in the full stream.
+    cutoffs:
+        The ``h − 1`` increasing size cutoffs.
+    host_speeds:
+        Optional per-host speeds (extension: heterogeneous machines, e.g.
+        a C90 next to a J90).  Host ``i`` serves its slice as an M/G/1 on
+        the *scaled* distribution ``X_i / v_i``; per-job slowdown remains
+        response over *nominal* size, so a job on a speed-2 host can have
+        slowdown below 1.
+
+    Raises
+    ------
+    ValueError
+        If any host's utilisation is ≥ 1 (infeasible cutoffs).  Use
+        :func:`sita_host_loads` first to probe feasibility without the
+        exception.
+    """
+    c = np.asarray(cutoffs, dtype=float)
+    if c.size and np.any(np.diff(c) <= 0):
+        raise ValueError(f"cutoffs must be strictly increasing, got {c}")
+    if host_speeds is None:
+        speeds = np.ones(c.size + 1)
+    else:
+        speeds = np.asarray(host_speeds, dtype=float)
+        if speeds.shape != (c.size + 1,):
+            raise ValueError(
+                f"host_speeds must have {c.size + 1} entries, got {speeds.shape}"
+            )
+        if np.any(speeds <= 0):
+            raise ValueError("host speeds must be positive")
+    hosts: list[SITAHost] = []
+    mean_s = 0.0
+    mean_s2 = 0.0
+    mean_wslow = 0.0
+    mean_resp = 0.0
+    mean_wait = 0.0
+    total_mean = dist.mean
+    for i, (lo, hi) in enumerate(_intervals(dist, c)):
+        p = dist.prob_interval(lo, hi)
+        if p <= 0.0:
+            hosts.append(
+                SITAHost(
+                    host=i, lo=lo, hi=hi, job_fraction=0.0,
+                    load_fraction=0.0, utilisation=0.0, mg1=None,
+                )
+            )
+            continue
+        v = float(speeds[i])
+        cond = dist.conditional(lo, hi)
+        served = cond if v == 1.0 else cond.scaled(1.0 / v)
+        lam_i = arrival_rate * p
+        rho_i = lam_i * served.mean
+        if rho_i >= 1.0:
+            raise ValueError(
+                f"infeasible cutoffs {c}: host {i} utilisation {rho_i:.4f} >= 1"
+            )
+        m = mg1_metrics(lam_i, served)
+        # Slowdown uses the *nominal* size: S = (W + X/v)/X = W/X + 1/v.
+        inv1, inv2 = safe_inverse_moments(cond)
+        es_i = m.mean_wait * inv1 + 1.0 / v
+        hosts.append(
+            SITAHost(
+                host=i,
+                lo=lo,
+                hi=hi,
+                job_fraction=p,
+                load_fraction=dist.partial_moment(1.0, lo, hi) / total_mean,
+                utilisation=rho_i,
+                mg1=m,
+                class_mean_slowdown=es_i,
+            )
+        )
+        es2 = (
+            m.second_moment_wait * inv2
+            + (2.0 / v) * m.mean_wait * inv1
+            + 1.0 / v**2
+        )
+        mean_s += p * es_i
+        mean_s2 += p * es2
+        mean_wslow += p * (m.mean_wait * inv1)
+        mean_resp += p * m.mean_response
+        mean_wait += p * m.mean_wait
+    var_s = (
+        mean_s2 - mean_s**2
+        if math.isfinite(mean_s2) and math.isfinite(mean_s)
+        else math.inf
+    )
+    return SITAAnalysis(
+        cutoffs=tuple(float(x) for x in c),
+        hosts=tuple(hosts),
+        mean_slowdown=mean_s,
+        var_slowdown=var_s,
+        mean_waiting_slowdown=mean_wslow,
+        mean_response=mean_resp,
+        mean_wait=mean_wait,
+    )

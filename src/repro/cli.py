@@ -1,0 +1,157 @@
+"""Command-line interface: ``python -m repro`` or the ``repro`` script.
+
+Subcommands
+-----------
+
+``repro list``
+    Show every registered experiment (paper tables/figures + ablations).
+``repro run fig4 [--scale 0.2] [--csv out.csv]``
+    Run one experiment and print its rows (optionally also write CSV).
+``repro workloads``
+    Print the calibrated workload catalog (Table-1 style).
+``repro synth c90 out.swf --load 0.7 --hosts 2 --jobs 50000``
+    Materialise a synthetic trace as a Standard Workload Format file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import ExperimentConfig, list_experiments, run_experiment
+from .workloads.catalog import WORKLOAD_NAMES, get_workload
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Task assignment policies for supercomputing servers "
+            "(Schroeder & Harchol-Balter, HPDC 2000) — reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the registered experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment and print its rows")
+    run_p.add_argument("experiment", help="experiment id, e.g. fig4")
+    run_p.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="job-count multiplier (1.0 = paper scale; 0.1 for a quick look)",
+    )
+    run_p.add_argument("--seed", type=int, default=None, help="base RNG seed")
+    run_p.add_argument("--csv", default=None, help="also write the rows as CSV")
+    run_p.add_argument(
+        "--plot",
+        action="store_true",
+        help="also render the result as an ASCII chart (where it has one)",
+    )
+
+    all_p = sub.add_parser(
+        "all", help="run every registered experiment and write results to a directory"
+    )
+    all_p.add_argument("--scale", type=float, default=1.0, help="job-count multiplier")
+    all_p.add_argument("--seed", type=int, default=None, help="base RNG seed")
+    all_p.add_argument(
+        "--out", default="results", help="output directory for <id>.txt/<id>.csv"
+    )
+
+    sub.add_parser("workloads", help="print the calibrated workload catalog")
+
+    synth_p = sub.add_parser("synth", help="write a synthetic trace as SWF")
+    synth_p.add_argument("workload", choices=WORKLOAD_NAMES)
+    synth_p.add_argument("output", help="path of the SWF file to write")
+    synth_p.add_argument("--load", type=float, default=0.7, help="system load")
+    synth_p.add_argument("--hosts", type=int, default=2, help="number of hosts")
+    synth_p.add_argument("--jobs", type=int, default=None, help="number of jobs")
+    synth_p.add_argument("--seed", type=int, default=0, help="RNG seed")
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for eid, title in list_experiments():
+            print(f"{eid:22s} {title}")
+        return 0
+
+    if args.command == "run":
+        config = ExperimentConfig(scale=args.scale)
+        if args.seed is not None:
+            config = config.with_(seed=args.seed)
+        result = run_experiment(args.experiment, config)
+        print(result.to_text())
+        if args.plot:
+            from .experiments.plotting import result_chart
+
+            print()
+            try:
+                print(result_chart(result))
+            except ValueError as exc:
+                print(f"(no chart: {exc})")
+        if args.csv:
+            result.to_csv(args.csv)
+            print(f"\nwrote {args.csv}")
+        return 0
+
+    if args.command == "all":
+        import time
+        from pathlib import Path
+
+        config = ExperimentConfig(scale=args.scale)
+        if args.seed is not None:
+            config = config.with_(seed=args.seed)
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        failures = 0
+        for eid, title in list_experiments():
+            t0 = time.perf_counter()
+            try:
+                result = run_experiment(eid, config)
+            except Exception as exc:  # pragma: no cover - surfaced to the user
+                print(f"{eid:22s} FAILED: {exc}")
+                failures += 1
+                continue
+            result.to_csv(out_dir / f"{eid}.csv")
+            (out_dir / f"{eid}.txt").write_text(result.to_text() + "\n")
+            print(f"{eid:22s} ok in {time.perf_counter() - t0:6.1f}s  ({title})")
+        print(f"\nresults in {out_dir}/")
+        return 1 if failures else 0
+
+    if args.command == "workloads":
+        for name in WORKLOAD_NAMES:
+            w = get_workload(name)
+            row = w.table1_row()
+            print(f"{name}: {w.description}")
+            for k, v in row.items():
+                print(f"    {k:24s} {v:.6g}")
+        return 0
+
+    if args.command == "synth":
+        w = get_workload(args.workload)
+        trace = w.make_trace(
+            load=args.load,
+            n_hosts=args.hosts,
+            n_jobs=args.jobs,
+            rng=args.seed,
+        )
+        trace.to_swf(args.output)
+        stats = trace.stats()
+        print(
+            f"wrote {args.output}: {stats.n_jobs} jobs, mean service "
+            f"{stats.mean_service:.1f}s, SCV {stats.scv:.1f}"
+        )
+        return 0
+
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""Size-estimate error models (paper section 7, "Limitations").
+
+SITA dispatching needs to know whether a job is short or long.  The paper
+argues this is a mild requirement — users only have to classify against
+*one* cutoff, and misclassified small jobs mostly hurt themselves — and
+points to runtime prediction from historical data as an alternative.
+This module makes both arguments testable:
+
+* :func:`multiplicative_noise` — user estimates off by a lognormal factor
+  (the standard model for human runtime estimates);
+* :func:`misclassify` — flip a job's short/long classification with some
+  probability, directly modelling the paper's one-bit user question;
+* :class:`HistoryPredictor` — a tiny "machine learning" predictor in the
+  spirit of the paper's refs [9, 16]: predicts each job's runtime as the
+  running mean of previous runtimes of its user/class, so experiments can
+  ask how a realistic predictor-driven SITA behaves.
+
+Each function produces a ``size_estimates`` array accepted by
+:func:`repro.sim.runner.simulate`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..workloads.distributions import _as_rng
+
+__all__ = ["multiplicative_noise", "misclassify", "HistoryPredictor"]
+
+
+def multiplicative_noise(
+    sizes: np.ndarray,
+    error_factor: float,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Estimates ``s · ε`` with ``ln ε ~ N(0, ln²(error_factor))``.
+
+    ``error_factor = 2`` means a typical (one-sigma) estimate is off by a
+    factor of two in either direction; ``1`` returns exact estimates.
+    """
+    s = np.asarray(sizes, dtype=float)
+    if error_factor < 1.0:
+        raise ValueError(f"error_factor must be >= 1, got {error_factor}")
+    if error_factor == 1.0:
+        return s.copy()
+    rng = _as_rng(rng)
+    sigma = np.log(error_factor)
+    return s * np.exp(rng.normal(0.0, sigma, size=s.size))
+
+
+def misclassify(
+    sizes: np.ndarray,
+    cutoff: float,
+    flip_probability: float,
+    rng: np.random.Generator | int | None = None,
+    direction: str = "both",
+) -> np.ndarray:
+    """Estimates that land on the wrong side of ``cutoff`` w.p. ``p``.
+
+    Models the paper's one-bit user question ("is your job short or long?")
+    answered incorrectly with probability ``flip_probability``.  Estimates
+    are synthesised as ``cutoff/2`` (claimed short) or ``2·cutoff``
+    (claimed long) — only the side of the cutoff matters to SITA.
+
+    ``direction`` selects which errors can happen, because their costs are
+    wildly asymmetric (the ``ablate_estimates`` experiment quantifies it):
+
+    * ``"short-to-long"`` — short jobs claimed long.  This is the error
+      the paper's §7 argument covers: the misclassified job mostly hurts
+      itself ("their size is small compared to that of the other jobs on
+      that machine").
+    * ``"long-to-short"`` — long jobs claimed short: an elephant lands on
+      the short host and tramples the 97 % of jobs living there.  The
+      paper does not discuss this direction; it is the one that matters.
+    * ``"both"`` — symmetric flips.
+    """
+    s = np.asarray(sizes, dtype=float)
+    if not 0.0 <= flip_probability <= 1.0:
+        raise ValueError(f"flip_probability must be in [0,1], got {flip_probability}")
+    if cutoff <= 0:
+        raise ValueError(f"cutoff must be positive, got {cutoff}")
+    if direction not in ("both", "short-to-long", "long-to-short"):
+        raise ValueError(f"unknown direction {direction!r}")
+    rng = _as_rng(rng)
+    truly_short = s <= cutoff
+    flip = rng.random(s.size) < flip_probability
+    if direction == "short-to-long":
+        flip &= truly_short
+    elif direction == "long-to-short":
+        flip &= ~truly_short
+    claimed_short = truly_short ^ flip
+    return np.where(claimed_short, cutoff / 2.0, cutoff * 2.0)
+
+
+class HistoryPredictor:
+    """Predict runtimes as the running mean of a job's class history.
+
+    The paper's refs [9, 16] show MPP runtimes are predictable from
+    historical runs of "similar" jobs.  Here similarity is an integer
+    class label (user id, executable, queue — caller's choice); the
+    predictor returns, for each job in submission order, the mean runtime
+    of *earlier* jobs in the same class, falling back to the global
+    running mean for a class's first job (and to ``prior`` for the very
+    first job overall).
+    """
+
+    def __init__(self, prior: float = 1.0) -> None:
+        if prior <= 0:
+            raise ValueError(f"prior must be positive, got {prior}")
+        self.prior = float(prior)
+
+    def predict(self, sizes: np.ndarray, classes: np.ndarray) -> np.ndarray:
+        """Online (leak-free) per-class running-mean predictions."""
+        s = np.asarray(sizes, dtype=float)
+        c = np.asarray(classes)
+        if s.shape != c.shape or s.ndim != 1:
+            raise ValueError("sizes and classes must be equal-length 1-D")
+        sums: dict = {}
+        counts: dict = {}
+        global_sum = 0.0
+        global_n = 0
+        out = np.empty(s.size)
+        for i in range(s.size):
+            key = c[i]
+            if counts.get(key, 0) > 0:
+                out[i] = sums[key] / counts[key]
+            elif global_n > 0:
+                out[i] = global_sum / global_n
+            else:
+                out[i] = self.prior
+            sums[key] = sums.get(key, 0.0) + s[i]
+            counts[key] = counts.get(key, 0) + 1
+            global_sum += s[i]
+            global_n += 1
+        return out

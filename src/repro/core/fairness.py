@@ -1,0 +1,108 @@
+"""Fairness analysis: slowdown conditioned on job size.
+
+The paper's definition (section 1.2): *"All jobs, long or short, should
+experience the same expected slowdown."*  SITA-U-fair realises it with
+two size classes; this module measures it — for any simulation result or
+analytic SITA configuration — as a *slowdown-versus-size profile* plus
+scalar fairness indices:
+
+* :func:`slowdown_profile` — mean slowdown per size bucket (log-spaced or
+  per-class), the empirical fairness curve;
+* :func:`fairness_gap` — max/min ratio of per-bucket expected slowdowns
+  (1.0 = perfectly fair; Shortest-Job-First-style policies score badly);
+* :func:`class_fairness_gap` — the 2-class version SITA-U-fair drives
+  to 1.0.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sim.metrics import SimulationResult
+
+__all__ = [
+    "SlowdownProfile",
+    "slowdown_profile",
+    "fairness_gap",
+    "class_fairness_gap",
+]
+
+
+@dataclass(frozen=True)
+class SlowdownProfile:
+    """Mean slowdown per job-size bucket."""
+
+    #: bucket edges on the size axis, length ``n_buckets + 1``.
+    edges: np.ndarray
+    #: mean slowdown per bucket (NaN for empty buckets).
+    mean_slowdown: np.ndarray
+    #: number of jobs per bucket.
+    counts: np.ndarray
+
+    @property
+    def n_buckets(self) -> int:
+        return self.mean_slowdown.size
+
+    def gap(self) -> float:
+        """Max/min ratio over non-empty buckets (1.0 = perfectly fair)."""
+        vals = self.mean_slowdown[self.counts > 0]
+        if vals.size == 0:
+            raise ValueError("profile has no populated buckets")
+        return float(np.max(vals) / np.min(vals))
+
+
+def slowdown_profile(
+    result: SimulationResult,
+    n_buckets: int = 10,
+    warmup_fraction: float = 0.0,
+) -> SlowdownProfile:
+    """Bucket jobs by size (log-spaced) and average slowdown per bucket."""
+    if n_buckets < 2:
+        raise ValueError(f"need at least 2 buckets, got {n_buckets}")
+    r = result.trimmed(warmup_fraction)
+    sizes = r.sizes
+    slow = r.slowdowns
+    lo, hi = float(np.min(sizes)), float(np.max(sizes))
+    if lo == hi:
+        raise ValueError("all jobs have the same size; no profile to build")
+    edges = np.exp(np.linspace(math.log(lo), math.log(hi), n_buckets + 1))
+    edges[0] = lo * (1.0 - 1e-12)
+    edges[-1] = hi * (1.0 + 1e-12)
+    idx = np.clip(np.searchsorted(edges, sizes, side="right") - 1, 0, n_buckets - 1)
+    means = np.full(n_buckets, math.nan)
+    counts = np.zeros(n_buckets, dtype=int)
+    for b in range(n_buckets):
+        mask = idx == b
+        counts[b] = int(np.sum(mask))
+        if counts[b]:
+            means[b] = float(np.mean(slow[mask]))
+    return SlowdownProfile(edges=edges, mean_slowdown=means, counts=counts)
+
+
+def fairness_gap(
+    result: SimulationResult,
+    n_buckets: int = 10,
+    warmup_fraction: float = 0.0,
+    min_bucket_count: int = 10,
+) -> float:
+    """Max/min per-bucket expected slowdown (buckets below the count floor
+    are ignored — a bucket of two unlucky jobs is noise, not bias)."""
+    p = slowdown_profile(result, n_buckets, warmup_fraction)
+    vals = p.mean_slowdown[p.counts >= min_bucket_count]
+    if vals.size < 2:
+        raise ValueError("too few populated buckets for a fairness gap")
+    return float(np.max(vals) / np.min(vals))
+
+
+def class_fairness_gap(
+    result: SimulationResult, cutoff: float, warmup_fraction: float = 0.0
+) -> float:
+    """``E[S | short] / E[S | long]`` for the 2-class split at ``cutoff``.
+
+    SITA-U-fair targets 1.0; SITA-E on heavy-tailed data sits far from it.
+    """
+    s_short, s_long = result.trimmed(warmup_fraction).class_mean_slowdowns(cutoff)
+    return s_short / s_long

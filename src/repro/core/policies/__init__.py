@@ -1,0 +1,29 @@
+"""Task assignment policies (the paper's section 1.2 plus extensions)."""
+
+from .base import Policy, StatePolicy, StaticPolicy
+from .estimated import EstimatedLWLPolicy
+from .classic import (
+    CentralQueuePolicy,
+    LeastWorkLeftPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    ShortestQueuePolicy,
+)
+from .sita import GroupedSITAPolicy, SITAPolicy, validate_cutoffs
+from .tags import TAGSPolicy
+
+__all__ = [
+    "EstimatedLWLPolicy",
+    "Policy",
+    "StatePolicy",
+    "StaticPolicy",
+    "CentralQueuePolicy",
+    "LeastWorkLeftPolicy",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "ShortestQueuePolicy",
+    "GroupedSITAPolicy",
+    "SITAPolicy",
+    "validate_cutoffs",
+    "TAGSPolicy",
+]

@@ -1,0 +1,103 @@
+"""The task-assignment policy protocol.
+
+A *task assignment policy* is the rule the dispatcher uses to route each
+arriving job to one of the ``h`` hosts (paper section 1.2).  Policies come
+in four kinds, advertised through the :attr:`Policy.kind` class attribute:
+
+``"static"``
+    The choice depends only on the job (its size estimate) and internal
+    policy state — Random, Round-Robin, SITA-*.  Static policies also
+    implement :meth:`StaticPolicy.assign_batch`, a vectorised assignment
+    of a whole trace at once, which is what lets the fast simulator run
+    load sweeps with pure NumPy.
+``"state"``
+    The choice inspects the current host states (queue lengths or
+    remaining work) — Shortest-Queue, Least-Work-Left, grouped SITA.
+``"central"``
+    No per-arrival choice at all: jobs wait in a FCFS queue at the
+    dispatcher and idle hosts pull (Central-Queue, provably equivalent to
+    Least-Work-Left).
+``"tags"``
+    TAGS mechanics (host ``i`` kills jobs exceeding cutoff ``i``; the job
+    restarts on host ``i+1``) — the unknown-size extension.
+
+Policies are cheap, reusable objects; :meth:`Policy.reset` re-initialises
+any internal state for a fresh run.  Simulators duck-type against this
+protocol, so custom user policies only need to match the signatures.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, ClassVar
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...sim.jobs import Job
+    from ...sim.server import SystemState
+
+__all__ = ["Policy", "StaticPolicy", "StatePolicy"]
+
+
+class Policy(ABC):
+    """Base class for all task assignment policies."""
+
+    #: dispatch discipline; see module docstring.
+    kind: ClassVar[str]
+    #: short label used in reports and plots.
+    name: str = "policy"
+    #: optional tag the fast simulator uses to pick a specialised kernel
+    #: ("lwl", "sq", "grouped"); None means the generic path.
+    fast_hint: ClassVar[str | None] = None
+
+    def reset(self, n_hosts: int, rng: np.random.Generator) -> None:
+        """Prepare for a fresh run on ``n_hosts`` hosts.
+
+        Subclasses overriding this must call ``super().reset(...)``.
+        """
+        if n_hosts < 1:
+            raise ValueError(f"n_hosts must be >= 1, got {n_hosts}")
+        self.n_hosts = n_hosts
+        self.rng = rng
+
+    def choose_host(self, job: "Job", state: "SystemState") -> int:
+        """Route one job (kinds ``static`` and ``state``)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} (kind={self.kind!r}) does not dispatch per-job"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class StaticPolicy(Policy):
+    """A policy whose choices ignore host state (vectorisable)."""
+
+    kind = "static"
+
+    @abstractmethod
+    def assign_batch(
+        self, sizes: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Assign every job of a trace at once.
+
+        Parameters
+        ----------
+        sizes:
+            Per-job size *estimates* in arrival order.
+        rng:
+            Generator for any randomness (so batch assignment is exactly
+            as reproducible as per-job assignment).
+
+        Returns
+        -------
+        numpy.ndarray
+            Integer host index per job.
+        """
+
+
+class StatePolicy(Policy):
+    """A policy that inspects host state on every arrival."""
+
+    kind = "state"

@@ -1,0 +1,47 @@
+"""TAGS — Task Assignment by Guessing Size (extension).
+
+The paper's ref [10] (Harchol-Balter, ICDCS 2000) proposes a
+load-unbalancing policy for the case where job durations are *unknown*:
+every job starts on host 1; host ``i`` kills any job whose service there
+exceeds cutoff ``s_i``, and the job restarts **from scratch** on host
+``i+1``.  Small jobs finish on the first host; elephants percolate to the
+last one, paying for the wasted partial runs.  TAGS achieves SITA-like
+variance reduction without size estimates, at the cost of redundant work.
+
+The dispatch mechanics live in the event-driven server (`kind == "tags"`
+installs per-host limits and an eviction handler); this class only carries
+the cutoffs.  We include TAGS as the natural ablation partner for SITA-U:
+how much of the unbalancing win survives when sizes are unknown?
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .base import Policy
+from .sita import validate_cutoffs
+
+__all__ = ["TAGSPolicy"]
+
+
+class TAGSPolicy(Policy):
+    """Task Assignment by Guessing Size with ``h − 1`` kill cutoffs."""
+
+    kind = "tags"
+    name = "tags"
+
+    def __init__(self, cutoffs: Sequence[float], name: str = "tags") -> None:
+        self.cutoffs = validate_cutoffs(cutoffs)
+        if self.cutoffs.size < 1:
+            raise ValueError("TAGS needs at least one cutoff (two hosts)")
+        self.name = name
+
+    def reset(self, n_hosts: int, rng: np.random.Generator) -> None:
+        super().reset(n_hosts, rng)
+        if self.cutoffs.size != n_hosts - 1:
+            raise ValueError(
+                f"tags: {self.cutoffs.size} cutoffs cannot drive {n_hosts} "
+                f"hosts (need {n_hosts - 1})"
+            )

@@ -1,0 +1,115 @@
+"""Seventh ablation: how much does the workload calibration choice matter?
+
+``ablate_calibration`` — the single most consequential substitution in
+this reproduction is the choice of distribution family for the missing
+PSC traces (DESIGN.md §4).  Three candidates all match the published
+mean; they differ in which *other* Table-1 statistics they can satisfy:
+
+* ``lognormal`` (the shipped calibration) — matches mean + C² = 43 and
+  *implies* the published min/max and half-load structure;
+* ``bp-min`` — bounded Pareto pinned to min = 1 s, matching mean + C²;
+  forces α ≈ 0.29, flooding the trace with sub-10 s jobs;
+* ``bp-max`` — bounded Pareto pinned to max ≈ 2.2e6 s, matching
+  mean + C²; forces min ≈ 750 s, erasing the tiny jobs entirely.
+
+For each family the experiment runs the headline comparisons (LWL vs
+SITA-E vs SITA-U-opt at ρ = 0.7) and reports which of the paper's claims
+survive.  This turns the narrative justification in DESIGN.md §4 into a
+measured result: the qualitative conclusions are calibration-*sensitive*,
+and the lognormal is the only family under which *all* of them hold.
+"""
+
+from __future__ import annotations
+
+from ..core.cutoffs import equal_load_cutoffs, opt_cutoff, short_host_load_fraction
+from ..core.policies import LeastWorkLeftPolicy, SITAPolicy
+from ..sim.runner import simulate
+from ..workloads.catalog import get_workload
+from ..workloads.distributions import BoundedPareto
+from ..workloads.synthetic import SyntheticWorkload
+from .base import ExperimentConfig, ExperimentResult, experiment
+from .common import point_seed
+
+__all__ = ["run_ablate_calibration"]
+
+_LOAD = 0.7
+
+
+def _families() -> dict[str, SyntheticWorkload]:
+    logn = get_workload("c90")
+    return {
+        "lognormal": logn,
+        "bp-min": SyntheticWorkload(
+            name="bp-min",
+            service_dist=BoundedPareto.fit_min(lower=1.0, mean=4562.6, scv=43.0),
+            n_jobs=logn.n_jobs,
+        ),
+        "bp-max": SyntheticWorkload(
+            name="bp-max",
+            service_dist=BoundedPareto.fit(mean=4562.6, scv=43.0, upper=2_222_749.0),
+            n_jobs=logn.n_jobs,
+        ),
+    }
+
+
+@experiment(
+    "ablate_calibration",
+    "Sensitivity of the paper's claims to the workload family (DESIGN.md §4)",
+)
+def run_ablate_calibration(config: ExperimentConfig) -> ExperimentResult:
+    rows = []
+    for family, workload in _families().items():
+        dist = workload.service_dist
+        n_jobs = config.jobs(workload.n_jobs)
+        seed = point_seed(config, "ablate_calibration", family)
+        trace = workload.make_trace(load=_LOAD, n_hosts=2, n_jobs=n_jobs, rng=seed)
+        ce = float(equal_load_cutoffs(dist, 2)[0])
+        co = opt_cutoff(_LOAD, dist)
+        scores = {}
+        for name, policy in (
+            ("lwl", LeastWorkLeftPolicy()),
+            ("sita-e", SITAPolicy([ce])),
+            ("sita-u-opt", SITAPolicy([co])),
+        ):
+            scores[name] = simulate(trace, policy, 2, rng=seed).summary(
+                warmup_fraction=config.warmup_fraction
+            ).mean_slowdown
+        rows.append(
+            {
+                "family": family,
+                "min_size": dist.lower,
+                "max_size": dist.upper,
+                "lwl": scores["lwl"],
+                "sita_e": scores["sita-e"],
+                "sita_u_opt": scores["sita-u-opt"],
+                # The paper's headline claims, as measured factors:
+                # §3.2 wants SITA-E over LWL by ~3-4x at this load;
+                "sita_gain": scores["lwl"] / scores["sita-e"],
+                # §4.2 wants SITA-U over SITA-E by ~4-10x;
+                "unbalance_gain": scores["sita-e"] / scores["sita-u-opt"],
+                # §4.4 wants the opt load fraction near rho/2 = 0.35.
+                "opt_load_frac": short_host_load_fraction(dist, co),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="ablate_calibration",
+        title=f"Which paper claims survive each calibration (load {_LOAD})",
+        columns=[
+            "family",
+            "min_size",
+            "max_size",
+            "lwl",
+            "sita_e",
+            "sita_u_opt",
+            "sita_gain",
+            "unbalance_gain",
+            "opt_load_frac",
+        ],
+        rows=rows,
+        notes=(
+            "all families match mean 4562.6s and C²=43; the paper needs "
+            "sita_gain ≈ 3-4x, unbalance_gain ≈ 4-10x and opt_load_frac "
+            "≈ rho/2 = 0.35 — bp-min loses the first, bp-max the second "
+            "and third; only the lognormal delivers all (DESIGN.md §4)"
+        ),
+    )

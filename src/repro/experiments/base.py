@@ -1,0 +1,148 @@
+"""Experiment infrastructure: configs, structured results, registry.
+
+Every paper table/figure has a driver function registered under its id
+(``table1``, ``fig2`` … ``fig13``, plus ablations).  A driver takes an
+:class:`ExperimentConfig` and returns an :class:`ExperimentResult` — a
+list of rows (dicts) with a fixed column order, renderable as an aligned
+text table (what the benchmark harness prints) or CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "experiment",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all experiment drivers.
+
+    ``scale`` multiplies the number of simulated jobs: 1.0 reproduces the
+    paper-scale runs (tens of thousands of jobs per point); benchmarks and
+    tests use smaller scales for speed.  Loads above ``max_load`` are
+    dropped from sweeps (high loads need long runs to converge).
+    """
+
+    #: job-count multiplier (1.0 = paper scale).
+    scale: float = 1.0
+    #: base RNG seed; every simulated point derives a distinct stream.
+    seed: int = 20000731  # HPDC 2000 vintage
+    #: fraction of jobs dropped as warmup before computing statistics.
+    warmup_fraction: float = 0.05
+    #: system loads for the standard sweeps.
+    loads: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8)
+    #: drop sweep points above this load.
+    max_load: float = 0.95
+    #: number of independent replications averaged per simulated point.
+    replications: int = 1
+
+    def jobs(self, base: int) -> int:
+        """Scale a driver's base job count (floor of 2000 jobs)."""
+        return max(2000, int(base * self.scale))
+
+    def sweep_loads(self) -> tuple[float, ...]:
+        return tuple(l for l in self.loads if l <= self.max_load)
+
+    def with_(self, **kwargs) -> "ExperimentConfig":
+        """Functional update."""
+        return replace(self, **kwargs)
+
+
+#: configuration used by the pytest benchmarks (fast but meaningful).
+QUICK = ExperimentConfig(scale=0.2, loads=(0.3, 0.5, 0.7, 0.8))
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one experiment driver."""
+
+    experiment_id: str
+    title: str
+    columns: list[str]
+    rows: list[dict]
+    notes: str = ""
+
+    def column(self, name: str, where: Callable[[dict], bool] | None = None) -> list:
+        """Extract one column, optionally filtered by a row predicate."""
+        return [r[name] for r in self.rows if where is None or where(r)]
+
+    def to_text(self, float_fmt: str = "{:.4g}") -> str:
+        """Render as an aligned text table (the paper's rows/series)."""
+        def fmt(v) -> str:
+            if isinstance(v, float):
+                return float_fmt.format(v)
+            return str(v)
+
+        header = [self.columns]
+        body = [[fmt(row.get(c, "")) for c in self.columns] for row in self.rows]
+        widths = [
+            max(len(line[i]) for line in header + body)
+            for i in range(len(self.columns))
+        ]
+        lines = [f"# {self.experiment_id}: {self.title}"]
+        lines.append("  ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for line in body:
+            lines.append("  ".join(v.rjust(w) for v, w in zip(line, widths)))
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+    def to_csv(self, path) -> None:
+        """Write the rows as CSV."""
+        path = Path(path)
+        with path.open("w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=self.columns, extrasaction="ignore")
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow(row)
+
+
+_REGISTRY: dict[str, tuple[str, Callable[[ExperimentConfig], ExperimentResult]]] = {}
+
+
+def experiment(experiment_id: str, title: str):
+    """Decorator registering an experiment driver under ``experiment_id``."""
+
+    def deco(fn: Callable[[ExperimentConfig], ExperimentResult]):
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = (title, fn)
+        fn.experiment_id = experiment_id
+        fn.title = title
+        return fn
+
+    return deco
+
+
+def get_experiment(experiment_id: str) -> Callable[[ExperimentConfig], ExperimentResult]:
+    """Look up a driver by id."""
+    try:
+        return _REGISTRY[experiment_id][1]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown experiment {experiment_id!r}; known: {known}") from None
+
+
+def list_experiments() -> list[tuple[str, str]]:
+    """All registered ``(id, title)`` pairs, sorted by id."""
+    return sorted((eid, title) for eid, (title, _) in _REGISTRY.items())
+
+
+def run_experiment(
+    experiment_id: str, config: ExperimentConfig | None = None
+) -> ExperimentResult:
+    """Run one registered experiment (default full-scale config)."""
+    fn = get_experiment(experiment_id)
+    return fn(config if config is not None else ExperimentConfig())

@@ -1,0 +1,213 @@
+"""Shared machinery for the experiment drivers.
+
+The paper's protocol, encoded once:
+
+1. generate a workload trace at the target load (§2.2: service times from
+   the trace/distribution, Poisson arrivals unless the experiment says
+   otherwise);
+2. *fit* any SITA cutoffs on the first half of the trace — analytically,
+   by applying Theorem 1 to the empirical size distribution of that half
+   (§4.1: "Note that for a given cutoff we can compute the load and E{X²}
+   at each host from the trace data.  Theorem 1 then allows us to
+   determine the expected slowdown…");
+3. *evaluate* every policy on the second half;
+4. report mean slowdown, variance of slowdown and mean response time
+   after warmup trimming.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.cutoffs import (
+    equal_load_cutoffs,
+    fair_cutoff,
+    opt_cutoff,
+)
+from ..core.policies import (
+    GroupedSITAPolicy,
+    LeastWorkLeftPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    SITAPolicy,
+    ShortestQueuePolicy,
+)
+from ..sim.metrics import Summary
+from ..sim.runner import simulate
+from ..workloads.arrivals import ArrivalProcess
+from ..workloads.distributions import Empirical, ServiceDistribution
+from ..workloads.synthetic import SyntheticWorkload
+from ..workloads.traces import Trace
+from .base import ExperimentConfig
+
+__all__ = [
+    "SweepPoint",
+    "make_split_trace",
+    "fit_sita_cutoffs",
+    "evaluate_policy",
+    "balanced_policies",
+    "sita_family",
+    "grouped_sita",
+    "point_seed",
+    "aggregate_replications",
+]
+
+
+def point_seed(config: ExperimentConfig, *coords) -> int:
+    """Derive a reproducible per-point seed from arbitrary coordinates."""
+    h = int(config.seed)
+    for c in coords:
+        for b in str(c).encode():
+            h = (h * 1000003 + b) & (2**63 - 1)
+    return h
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (policy, load) measurement."""
+
+    policy: str
+    load: float
+    n_hosts: int
+    summary: Summary
+
+    def as_row(self) -> dict:
+        return {
+            "policy": self.policy,
+            "load": self.load,
+            "n_hosts": self.n_hosts,
+            **self.summary.as_row(),
+        }
+
+
+def make_split_trace(
+    workload: SyntheticWorkload,
+    load: float,
+    n_hosts: int,
+    n_jobs: int,
+    seed: int,
+    arrivals: ArrivalProcess | None = None,
+) -> tuple[Trace, Trace]:
+    """Generate a trace and split it into (train, test) halves."""
+    trace = workload.make_trace(
+        load=load, n_hosts=n_hosts, n_jobs=n_jobs, rng=seed, arrivals=arrivals
+    )
+    return trace.split(0.5)
+
+
+def fit_sita_cutoffs(
+    train: Trace, load: float, variants: tuple[str, ...] = ("e", "opt", "fair")
+) -> dict[str, float]:
+    """Fit the 2-host SITA cutoffs on a training trace.
+
+    ``"e"`` equalises load; ``"opt"`` minimises the analytic mean slowdown
+    of the empirical (training) size distribution; ``"fair"`` equalises
+    the analytic short/long slowdowns — the paper's §4.1 procedure.
+    """
+    dist = Empirical(train.service_times)
+    out: dict[str, float] = {}
+    for v in variants:
+        if v == "e":
+            out[v] = float(equal_load_cutoffs(dist, 2)[0])
+        elif v == "opt":
+            out[v] = opt_cutoff(load, dist)
+        elif v == "fair":
+            out[v] = fair_cutoff(load, dist)
+        else:
+            raise ValueError(f"unknown SITA variant {v!r}")
+    return out
+
+
+def evaluate_policy(
+    test: Trace,
+    policy,
+    load: float,
+    n_hosts: int,
+    config: ExperimentConfig,
+    seed: int,
+) -> SweepPoint:
+    """Run one policy on the evaluation trace and summarise."""
+    result = simulate(test, policy, n_hosts, rng=seed)
+    return SweepPoint(
+        policy=policy.name,
+        load=load,
+        n_hosts=n_hosts,
+        summary=result.summary(warmup_fraction=config.warmup_fraction),
+    )
+
+
+def aggregate_replications(rows: list[dict]) -> dict:
+    """Average one (policy, load) point over independent replications.
+
+    Numeric fields are averaged; a ``ci_mean_slowdown`` half-width
+    (t-free, 1.96·σ/√R — fine for the R ≥ 3 regime it's used in) and
+    ``n_reps`` are added.  Non-numeric fields must agree across rows.
+    """
+    if not rows:
+        raise ValueError("no replications to aggregate")
+    if len(rows) == 1:
+        return {**rows[0], "n_reps": 1}
+    out: dict = {}
+    for key in rows[0]:
+        values = [r[key] for r in rows]
+        if isinstance(values[0], (int, float)) and not isinstance(values[0], bool):
+            # Keep shared coordinates (load, n_hosts) exact.
+            if all(v == values[0] for v in values):
+                out[key] = values[0]
+            else:
+                out[key] = float(np.mean(values))
+        else:
+            if any(v != values[0] for v in values):
+                raise ValueError(f"replications disagree on field {key!r}")
+            out[key] = values[0]
+    slows = np.array([r["mean_slowdown"] for r in rows], dtype=float)
+    out["n_reps"] = len(rows)
+    out["ci_mean_slowdown"] = float(
+        1.96 * np.std(slows, ddof=1) / math.sqrt(len(rows))
+    )
+    return out
+
+
+def balanced_policies(include_secondary: bool = False) -> list:
+    """The load-balancing policies of figure 2 (Random, LWL; optionally
+    Round-Robin and Shortest-Queue, which the paper measured but omitted
+    from the plots)."""
+    policies = [RandomPolicy(), LeastWorkLeftPolicy()]
+    if include_secondary:
+        policies += [RoundRobinPolicy(), ShortestQueuePolicy()]
+    return policies
+
+
+def sita_family(cutoffs: dict[str, float]) -> list[SITAPolicy]:
+    """Instantiate SITA policies from fitted cutoffs."""
+    names = {"e": "sita-e", "opt": "sita-u-opt", "fair": "sita-u-fair"}
+    return [SITAPolicy([c], name=names[v]) for v, c in cutoffs.items()]
+
+
+def grouped_sita(
+    cutoff: float,
+    n_hosts: int,
+    dist: ServiceDistribution,
+    name: str,
+    load: float | None = None,
+) -> GroupedSITAPolicy:
+    """Section-5 grouped SITA with an analytically chosen host split.
+
+    When ``load`` is given the short-group size minimises the predicted
+    mean slowdown (:func:`repro.core.cutoffs.optimal_group_split`);
+    otherwise it falls back to load-proportional rounding.
+    """
+    if load is not None:
+        from ..core.cutoffs import optimal_group_split
+
+        try:
+            n_short = optimal_group_split(load, dist, n_hosts, cutoff)
+            return GroupedSITAPolicy(cutoff, n_short, name=name)
+        except ValueError:
+            pass  # fall back to the proportional split below
+    f = dist.partial_moment(1.0, 0.0, cutoff) / dist.mean
+    n_short = int(np.clip(round(n_hosts * f), 1, n_hosts - 1))
+    return GroupedSITAPolicy(cutoff, n_short, name=name)

@@ -1,0 +1,73 @@
+"""Figure 4 — SITA-E vs SITA-U-opt vs SITA-U-fair (simulation, 2 hosts).
+
+The paper's headline comparison: the two load-*unbalancing* policies
+against the best load-balancing one.  Cutoffs are fitted on the first
+half of the trace (analytic Theorem-1 search on the empirical size
+distribution, §4.1) and evaluated on the second half.
+
+Expected shape (§4.2): SITA-U-fair is only slightly worse than
+SITA-U-opt; both improve on SITA-E by 4–10× in mean slowdown and
+10–100× in variance of slowdown over loads 0.5–0.8.
+"""
+
+from __future__ import annotations
+
+from ..workloads.catalog import get_workload
+from .base import ExperimentConfig, ExperimentResult, experiment
+from .common import (
+    aggregate_replications,
+    evaluate_policy,
+    fit_sita_cutoffs,
+    make_split_trace,
+    point_seed,
+    sita_family,
+)
+
+__all__ = ["run_fig4", "sita_sweep"]
+
+_COLUMNS = [
+    "policy",
+    "load",
+    "n_hosts",
+    "cutoff",
+    "mean_slowdown",
+    "var_slowdown",
+    "mean_response",
+    "mean_wait",
+    "load_frac_host0",
+]
+
+
+def sita_sweep(
+    config: ExperimentConfig, workload_name: str, experiment_id: str
+) -> list[dict]:
+    """Sweep the SITA family (E / U-opt / U-fair) over system loads, h=2."""
+    workload = get_workload(workload_name)
+    base_jobs = config.jobs(max(workload.n_jobs, 30_000))
+    rows = []
+    for load in config.sweep_loads():
+        per_policy: dict[str, list[dict]] = {}
+        for rep in range(config.replications):
+            seed = point_seed(config, experiment_id, workload_name, load, rep)
+            train, test = make_split_trace(workload, load, 2, base_jobs, seed)
+            cutoffs = fit_sita_cutoffs(train, load)
+            for policy in sita_family(cutoffs):
+                point = evaluate_policy(test, policy, load, 2, config, seed)
+                row = point.as_row()
+                row["cutoff"] = float(policy.cutoffs[0])
+                per_policy.setdefault(policy.name, []).append(row)
+        for reps in per_policy.values():
+            rows.append(aggregate_replications(reps))
+    return rows
+
+
+@experiment("fig4", "SITA-E vs SITA-U-opt vs SITA-U-fair, 2 hosts, C90 (simulation)")
+def run_fig4(config: ExperimentConfig) -> ExperimentResult:
+    rows = sita_sweep(config, "c90", "fig4")
+    return ExperimentResult(
+        experiment_id="fig4",
+        title="Load unbalancing: SITA-E vs SITA-U-opt vs SITA-U-fair, C90",
+        columns=_COLUMNS,
+        rows=rows,
+        notes="cutoffs fitted on the first half of each trace, evaluated on the second",
+    )

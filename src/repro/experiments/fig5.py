@@ -1,0 +1,68 @@
+"""Figure 5 — fraction of total load on Host 1 and the ρ/2 rule of thumb.
+
+For each system load, fit the SITA-U-opt and SITA-U-fair cutoffs and
+report the fraction of total work they route to the short-job host,
+alongside the paper's rule-of-thumb value ρ/2 (and SITA-E's constant
+0.5 for reference).  Both the analytic fraction (from the size
+distribution) and the realised fraction on the evaluation half of the
+trace are reported.
+"""
+
+from __future__ import annotations
+
+from ..core.cutoffs import short_host_load_fraction
+from ..core.rules import rule_of_thumb_fraction
+from ..workloads.catalog import get_workload
+from ..workloads.distributions import Empirical
+from .base import ExperimentConfig, ExperimentResult, experiment
+from .common import fit_sita_cutoffs, make_split_trace, point_seed
+
+__all__ = ["run_fig5", "load_fraction_sweep"]
+
+_COLUMNS = [
+    "load",
+    "variant",
+    "cutoff",
+    "load_frac_analytic",
+    "load_frac_trace",
+    "rule_of_thumb",
+]
+
+
+def load_fraction_sweep(
+    config: ExperimentConfig, workload_name: str, experiment_id: str
+) -> list[dict]:
+    workload = get_workload(workload_name)
+    base_jobs = config.jobs(max(workload.n_jobs, 30_000))
+    rows = []
+    for load in config.sweep_loads():
+        seed = point_seed(config, experiment_id, workload_name, load)
+        train, test = make_split_trace(workload, load, 2, base_jobs, seed)
+        cutoffs = fit_sita_cutoffs(train, load, variants=("opt", "fair"))
+        test_dist = Empirical(test.service_times)
+        for variant, cutoff in cutoffs.items():
+            rows.append(
+                {
+                    "load": load,
+                    "variant": f"sita-u-{variant}",
+                    "cutoff": cutoff,
+                    "load_frac_analytic": short_host_load_fraction(
+                        workload.service_dist, cutoff
+                    ),
+                    "load_frac_trace": short_host_load_fraction(test_dist, cutoff),
+                    "rule_of_thumb": rule_of_thumb_fraction(load),
+                }
+            )
+    return rows
+
+
+@experiment("fig5", "Host-1 load fraction under SITA-U and the rho/2 rule (C90)")
+def run_fig5(config: ExperimentConfig) -> ExperimentResult:
+    rows = load_fraction_sweep(config, "c90", "fig5")
+    return ExperimentResult(
+        experiment_id="fig5",
+        title="Fraction of total load on Host 1: SITA-U-opt, SITA-U-fair, rho/2",
+        columns=_COLUMNS,
+        rows=rows,
+        notes="SITA-E would put 0.5 at every load; SITA-U underloads Host 1",
+    )

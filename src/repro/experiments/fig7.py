@@ -1,0 +1,82 @@
+"""Figure 7 — non-Poisson (bursty, scaled-trace) arrivals.
+
+Section 6 of the paper replaces the Poisson arrival process with the
+trace's own interarrival times, scaled to each target load — a much
+burstier stream.  The PSC submission logs are proprietary, so (per
+DESIGN.md §4) we substitute a lognormal-renewal arrival process with
+interarrival SCV ≫ 1, rescaled to each load the same way; burstiness of
+the interarrival times is the one property section 6's argument uses.
+Cutoffs are the ones derived under the Poisson assumption, exactly as in
+the paper ("we use the analytical cutoffs derived under the Poisson
+assumption").
+
+Expected shape: SITA-U-opt/fair still beat LWL for loads ≈ 0.6–0.9, and
+LWL *closes the gap* as ρ → 1 because only LWL smooths arrival-time
+variability.  The paper observes an outright crossover above ρ = 0.95 on
+its proprietary scaled trace; on the synthetic workload the ratio climbs
+monotonically toward 1 without crossing — the crossover location depends
+on the log's exact burst structure (recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from ..core.policies import LeastWorkLeftPolicy
+from ..workloads.arrivals import RenewalArrivals
+from ..workloads.catalog import get_workload
+from .base import ExperimentConfig, ExperimentResult, experiment
+from .common import (
+    evaluate_policy,
+    fit_sita_cutoffs,
+    make_split_trace,
+    point_seed,
+    sita_family,
+)
+
+__all__ = ["run_fig7", "BURSTY_SCV"]
+
+#: interarrival squared coefficient of variation of the bursty stream.
+BURSTY_SCV = 20.0
+
+_LOADS = (0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.98)
+
+_COLUMNS = [
+    "policy",
+    "load",
+    "mean_slowdown",
+    "var_slowdown",
+    "mean_response",
+]
+
+
+@experiment("fig7", "Bursty (scaled-trace-like) arrivals: LWL vs SITA-U (C90)")
+def run_fig7(config: ExperimentConfig) -> ExperimentResult:
+    workload = get_workload("c90")
+    base_jobs = config.jobs(workload.n_jobs)
+    rows = []
+    bursty = RenewalArrivals.bursty(rate=1.0, scv=BURSTY_SCV)
+    for load in _LOADS:
+        if load > max(config.max_load, 0.98):
+            continue
+        seed = point_seed(config, "fig7", load)
+        # Very high loads converge slowly; give them longer runs.
+        n_jobs = base_jobs * (2 if load >= 0.9 else 1)
+        train, test = make_split_trace(
+            workload, load, 2, n_jobs, seed, arrivals=bursty
+        )
+        # Paper protocol: cutoffs from the Poisson analysis (the size
+        # distribution of the training half; arrivals don't enter).
+        cutoffs = fit_sita_cutoffs(train, load, variants=("opt", "fair"))
+        policies = [LeastWorkLeftPolicy()] + sita_family(cutoffs)
+        for policy in policies:
+            point = evaluate_policy(test, policy, load, 2, config, seed)
+            rows.append(point.as_row())
+    return ExperimentResult(
+        experiment_id="fig7",
+        title=f"Bursty arrivals (interarrival SCV {BURSTY_SCV:g}): LWL vs SITA-U",
+        columns=_COLUMNS,
+        rows=rows,
+        notes=(
+            "PSC interarrival logs are proprietary; a lognormal renewal "
+            "process with matching burstiness substitutes (DESIGN.md §4)"
+        ),
+    )

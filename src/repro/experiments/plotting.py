@@ -1,0 +1,176 @@
+"""ASCII charts for experiment results.
+
+The paper's artefacts are mostly *figures* (mean slowdown vs load, etc.),
+so the CLI can render any experiment's series as a terminal chart:
+``repro run fig2 --plot``.  Log-scale y is the default — slowdowns span
+decades, exactly why the paper's own figures are hard to read linearly.
+
+No plotting dependency: pure text, one marker per series, a legend, and
+tick labels.  :func:`result_chart` knows the conventional axes of the
+registered experiments (x = load or n_hosts, y = mean slowdown, one
+series per policy/variant).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+
+from .base import ExperimentResult
+
+__all__ = ["ascii_chart", "result_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _format_tick(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1000 or abs(v) < 0.01:
+        return f"{v:.1e}"
+    return f"{v:.3g}"
+
+
+def ascii_chart(
+    series: "OrderedDict[str, list[tuple[float, float]]]",
+    width: int = 68,
+    height: int = 18,
+    log_y: bool = True,
+    log_x: bool = False,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named ``(x, y)`` series as a text chart.
+
+    Points map to a ``width × height`` grid; collisions keep the earlier
+    series' marker.  ``log_y``/``log_x`` require positive values on that
+    axis (offending points are dropped with a note).
+    """
+    if not series or all(not pts for pts in series.values()):
+        raise ValueError("nothing to plot")
+    if width < 20 or height < 5:
+        raise ValueError("chart too small to be readable")
+
+    dropped = 0
+    cleaned: "OrderedDict[str, list[tuple[float, float]]]" = OrderedDict()
+    for name, pts in series.items():
+        keep = []
+        for x, y in pts:
+            bad = not (math.isfinite(x) and math.isfinite(y))
+            bad = bad or (log_y and y <= 0) or (log_x and x <= 0)
+            if bad:
+                dropped += 1
+                continue
+            keep.append((float(x), float(y)))
+        if keep:
+            cleaned[name] = keep
+    if not cleaned:
+        raise ValueError("no finite points to plot")
+
+    xs = [x for pts in cleaned.values() for x, _ in pts]
+    ys = [y for pts in cleaned.values() for _, y in pts]
+    x_raw_lo, x_raw_hi = min(xs), max(xs)
+    y_raw_lo, y_raw_hi = min(ys), max(ys)
+    to_y = math.log10 if log_y else (lambda v: v)
+    to_x = math.log10 if log_x else (lambda v: v)
+    y_lo, y_hi = to_y(y_raw_lo), to_y(y_raw_hi)
+    x_lo, x_hi = to_x(x_raw_lo), to_x(x_raw_hi)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, pts) in enumerate(cleaned.items()):
+        marker = _MARKERS[si % len(_MARKERS)]
+        for x, y in pts:
+            col = int(round((to_x(x) - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = int(round((to_y(y) - y_lo) / (y_hi - y_lo) * (height - 1)))
+            r = height - 1 - row
+            if grid[r][col] == " ":
+                grid[r][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    scale_note = " (log scale)" if log_y else ""
+    lines.append(f"{y_label}{scale_note}")
+    top_tick = _format_tick(y_raw_hi)
+    bot_tick = _format_tick(y_raw_lo)
+    margin = max(len(top_tick), len(bot_tick)) + 1
+    for r, row_chars in enumerate(grid):
+        if r == 0:
+            label = top_tick
+        elif r == height - 1:
+            label = bot_tick
+        else:
+            label = ""
+        lines.append(f"{label:>{margin}} |" + "".join(row_chars))
+    lines.append(" " * margin + " +" + "-" * width)
+    left = _format_tick(x_raw_lo)
+    right = _format_tick(x_raw_hi)
+    pad = width - len(left) - len(right)
+    x_note = f"  ({x_label}, log scale)" if log_x else f"  ({x_label})"
+    lines.append(" " * margin + "  " + left + " " * max(1, pad) + right + x_note)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(cleaned)
+    )
+    lines.append(f"  legend: {legend}")
+    if dropped:
+        lines.append(f"  ({dropped} non-positive/non-finite points not drawn)")
+    return "\n".join(lines)
+
+
+#: per-experiment chart conventions: (x, y, series key).
+_CONVENTIONS = {
+    "fig2": ("load", "mean_slowdown", "policy"),
+    "fig3": ("load", "mean_slowdown", "policy"),
+    "fig4": ("load", "mean_slowdown", "policy"),
+    "fig5": ("load", "load_frac_analytic", "variant"),
+    "fig6": ("n_hosts", "mean_slowdown", "policy"),
+    "fig7": ("load", "mean_slowdown", "policy"),
+    "fig8": ("load", "mean_slowdown", "policy"),
+    "fig9": ("load", "mean_slowdown", "policy"),
+    "fig10": ("load", "mean_slowdown", "policy"),
+    "fig11": ("load", "load_frac_analytic", "variant"),
+    "fig12": ("load", "mean_slowdown", "policy"),
+    "fig13": ("load", "load_frac_analytic", "variant"),
+    "ablate_rr_sq": ("load", "mean_slowdown", "policy"),
+    "ablate_tags": ("load", "mean_slowdown", "policy"),
+    "ablate_variability": ("scv", "mean_response", "policy"),
+    "ablate_sessions": ("session_length", "mean_slowdown", "policy"),
+    "ablate_sjf": ("load", "mean_slowdown", "policy"),
+    "ablate_multicutoff": ("n_hosts", "mean_slowdown", "variant"),
+}
+
+
+def result_chart(result: ExperimentResult, **chart_kwargs) -> str:
+    """Chart an experiment result using its conventional axes.
+
+    Raises :class:`ValueError` for results with no chartable convention
+    (e.g. ``table1``).
+    """
+    conv = _CONVENTIONS.get(result.experiment_id)
+    if conv is None:
+        raise ValueError(
+            f"no chart convention for {result.experiment_id!r}; use "
+            "ascii_chart() with explicit axes"
+        )
+    x_key, y_key, series_key = conv
+    series: "OrderedDict[str, list[tuple[float, float]]]" = OrderedDict()
+    for row in result.rows:
+        name = str(row.get(series_key, "?"))
+        x, y = row.get(x_key), row.get(y_key)
+        if x is None or y is None:
+            continue
+        series.setdefault(name, []).append((float(x), float(y)))
+    log_y = y_key not in ("load_frac_analytic",)
+    return ascii_chart(
+        series,
+        title=result.title,
+        x_label=x_key,
+        y_label=y_key,
+        log_y=chart_kwargs.pop("log_y", log_y),
+        **chart_kwargs,
+    )

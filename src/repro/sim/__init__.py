@@ -1,0 +1,29 @@
+"""Simulation substrate: event engine, distributed server, fast kernels."""
+
+from .engine import SimulationError, Simulator
+from .events import Event, EventHandle
+from .fast import fcfs_waits, lwl_waits, shortest_queue_waits, simulate_fast
+from .host import FCFSHost
+from .jobs import Job
+from .metrics import SimulationResult, Summary, batch_means_ci
+from .runner import simulate
+from .server import DistributedServer, SystemState
+
+__all__ = [
+    "SimulationError",
+    "Simulator",
+    "Event",
+    "EventHandle",
+    "fcfs_waits",
+    "lwl_waits",
+    "shortest_queue_waits",
+    "simulate_fast",
+    "FCFSHost",
+    "Job",
+    "SimulationResult",
+    "Summary",
+    "batch_means_ci",
+    "simulate",
+    "DistributedServer",
+    "SystemState",
+]

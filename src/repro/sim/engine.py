@@ -1,0 +1,121 @@
+"""A minimal, deterministic discrete-event simulation engine.
+
+This is the substrate under the paper's trace-driven simulator: a binary
+heap of :class:`~repro.sim.events.Event` objects, a monotone simulation
+clock, lazy cancellation, and stop conditions.  It is deliberately small
+and legible — the vectorised hot path for large sweeps lives in
+:mod:`repro.sim.fast` and is cross-validated against this engine (see
+``tests/sim/test_fast_vs_engine.py``), following the optimisation workflow
+of the HPC guides: make it work and make it testable before making it fast.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable
+
+from .events import Event, EventHandle
+
+__all__ = ["Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on engine misuse (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """Event-calendar simulator with a monotone clock.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1.5, my_callback, arg1, arg2)
+        sim.run()          # drains the calendar
+        sim.now            # -> 1.5
+
+    Callbacks may schedule further events; time only moves forward.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._now = 0.0
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the calendar (including cancelled)."""
+        return len(self._heap)
+
+    def schedule(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if not math.isfinite(time):
+            raise SimulationError(f"event time must be finite, got {time}")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        event = Event(time=time, seq=self._seq, callback=callback, args=args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_after(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        return self.schedule(self._now + delay, callback, *args)
+
+    def step(self) -> bool:
+        """Run the next non-cancelled event.  Returns False if none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Drain the calendar.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would fire after this time (the clock
+            is advanced to ``until``).
+        max_events:
+            Safety valve: stop after this many callbacks.
+        """
+        executed = 0
+        while self._heap:
+            if max_events is not None and executed >= max_events:
+                return
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and head.time > until:
+                self._now = max(self._now, until)
+                return
+            self.step()
+            executed += 1
+        if until is not None:
+            self._now = max(self._now, until)

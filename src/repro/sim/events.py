@@ -1,0 +1,53 @@
+"""Event primitives for the discrete-event engine.
+
+The engine (:mod:`repro.sim.engine`) is a classical event-calendar
+simulator: an event is a callback scheduled at a simulated time, ties are
+broken by insertion order (FIFO), and events can be cancelled.  Keeping
+the primitives in their own module keeps the engine readable and lets
+tests exercise ordering semantics in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Event", "EventHandle"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordered by ``(time, seq)`` so simultaneous events run in the order they
+    were scheduled — deterministic replay is a hard requirement for the
+    trace-driven experiments.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Opaque handle returned by ``Simulator.schedule``; supports cancel."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Mark the event dead; the engine skips it lazily (O(1))."""
+        self._event.cancelled = True

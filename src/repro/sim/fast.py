@@ -1,0 +1,386 @@
+"""Vectorised / tight-loop simulation kernels for large parameter sweeps.
+
+The event-driven engine (:mod:`repro.sim.engine`) is the legible reference
+implementation; this module is the optimised path, exploiting two facts
+about the paper's architectural model (FCFS, run-to-completion, one job at
+a time per host):
+
+1. **A host is one number.**  The entire state of a FCFS run-to-completion
+   host is its virtual completion time ``V``; remaining work at time ``t``
+   is ``max(0, V − t)``.
+
+2. **Static policies decouple the hosts.**  Once Random/Round-Robin/SITA
+   assignments are fixed, each host is an independent FCFS queue and the
+   per-job waits follow the Lindley recursion, which vectorises exactly:
+   with ``U_m = s_m − (t_{m+1} − t_m)`` and prefix sums ``P``, the wait of
+   job ``j`` is ``P_{j−1} − min(P_0, …, P_{j−1})`` (:func:`fcfs_waits`).
+
+3. **Least-Work-Left is the central queue.**  The paper (section 3.1,
+   citing [11]) notes LWL ≡ Central-Queue; both reduce to an ``h``-server
+   Kiefer–Wolfowitz recursion, implemented here as an ``O(n log h)`` heap
+   of virtual completion times (:func:`lwl_waits`).
+
+Every kernel is cross-validated against the event engine in
+``tests/sim/test_fast_vs_engine.py`` — per-job waiting times must agree to
+floating-point accuracy.  (Host *identities* may differ on exact ties,
+e.g. among simultaneously idle hosts; waits are unaffected.)
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+import numpy as np
+
+from ..workloads.distributions import _as_rng
+from ..workloads.traces import Trace
+from .metrics import SimulationResult
+
+__all__ = [
+    "fcfs_waits",
+    "lwl_waits",
+    "estimated_lwl_waits",
+    "shortest_queue_waits",
+    "tags_waits",
+    "simulate_fast",
+]
+
+
+def fcfs_waits(arrival_times: np.ndarray, sizes: np.ndarray) -> np.ndarray:
+    """Waiting times of one FCFS single-server queue (vectorised Lindley).
+
+    ``W_1 = 0`` and ``W_{j+1} = max(0, W_j + s_j − (t_{j+1} − t_j))``;
+    unrolled, ``W_j = P_{j−1} − min_{k ≤ j−1} P_k`` with
+    ``P_j = Σ_{m ≤ j} (s_m − gap_m)``, computed with ``cumsum`` +
+    ``minimum.accumulate`` — no Python loop.
+    """
+    t = np.asarray(arrival_times, dtype=float)
+    s = np.asarray(sizes, dtype=float)
+    if t.shape != s.shape or t.ndim != 1:
+        raise ValueError("arrival_times and sizes must be equal-length 1-D")
+    n = t.size
+    if n == 0:
+        return np.empty(0)
+    u = s[:-1] - np.diff(t)
+    prefix = np.concatenate(([0.0], np.cumsum(u)))
+    return prefix - np.minimum.accumulate(prefix)
+
+
+def lwl_waits(
+    arrival_times: np.ndarray,
+    sizes: np.ndarray,
+    n_hosts: int,
+    host_speeds: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Waits and host assignments under Least-Work-Left / Central-Queue.
+
+    Kiefer–Wolfowitz via a min-heap of per-host virtual completion times:
+    each job is matched with the earliest-free host, ``O(n log h)``.
+    With ``host_speeds`` the popped host's duration is ``size/speed`` —
+    LWL's choice (min remaining work, i.e. min V) is unchanged, so the
+    heap remains exact.  (The LWL ≡ Central-Queue equivalence holds only
+    for identical hosts.)
+
+    Returns ``(waits, hosts)``; on ties among idle hosts the heap order
+    (not the lowest index) picks the host — waits are identical either way.
+    """
+    t = np.asarray(arrival_times, dtype=float)
+    s = np.asarray(sizes, dtype=float)
+    if t.shape != s.shape or t.ndim != 1:
+        raise ValueError("arrival_times and sizes must be equal-length 1-D")
+    if n_hosts < 1:
+        raise ValueError(f"n_hosts must be >= 1, got {n_hosts}")
+    speeds = np.ones(n_hosts) if host_speeds is None else np.asarray(host_speeds, float)
+    n = t.size
+    waits = np.empty(n)
+    hosts = np.empty(n, dtype=int)
+    if np.all(speeds == 1.0):
+        # Identical hosts: tie-breaks cannot affect waits, so the
+        # O(n log h) earliest-free heap is exact.
+        free = [(0.0, i) for i in range(n_hosts)]  # already a valid heap
+        for j in range(n):
+            tj = t[j]
+            v, i = heapq.heappop(free)
+            start = tj if v < tj else v
+            waits[j] = start - tj
+            hosts[j] = i
+            heapq.heappush(free, (start + s[j], i))
+        return waits, hosts
+    # Heterogeneous speeds: which of several idle hosts is chosen now
+    # changes the job's duration and every later wait, so replicate the
+    # policy's exact rule — argmin of work-left, lowest index on ties.
+    v = np.zeros(n_hosts)
+    for j in range(n):
+        tj = t[j]
+        i = int(np.argmin(np.maximum(v - tj, 0.0)))
+        wait = v[i] - tj
+        if wait < 0.0:
+            wait = 0.0
+        waits[j] = wait
+        hosts[j] = i
+        v[i] = tj + wait + s[j] / speeds[i]
+    return waits, hosts
+
+
+def shortest_queue_waits(
+    arrival_times: np.ndarray,
+    sizes: np.ndarray,
+    n_hosts: int,
+    host_speeds: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Waits and assignments under Shortest-Queue (fewest jobs in system).
+
+    Per host we keep the virtual completion time and a FIFO of departure
+    epochs (monotone, so expiry is an amortised O(1) pop).  Ties go to the
+    lowest host index, matching :class:`ShortestQueuePolicy`.
+    """
+    t = np.asarray(arrival_times, dtype=float)
+    s = np.asarray(sizes, dtype=float)
+    if t.shape != s.shape or t.ndim != 1:
+        raise ValueError("arrival_times and sizes must be equal-length 1-D")
+    speeds = np.ones(n_hosts) if host_speeds is None else np.asarray(host_speeds, float)
+    n = t.size
+    waits = np.empty(n)
+    hosts = np.empty(n, dtype=int)
+    v = [0.0] * n_hosts
+    departures: list[deque[float]] = [deque() for _ in range(n_hosts)]
+    for j in range(n):
+        tj = t[j]
+        best = 0
+        best_count = -1
+        for i in range(n_hosts):
+            d = departures[i]
+            while d and d[0] <= tj:
+                d.popleft()
+            if best_count < 0 or len(d) < best_count:
+                best, best_count = i, len(d)
+        wait = v[best] - tj
+        if wait < 0.0:
+            wait = 0.0
+        waits[j] = wait
+        hosts[j] = best
+        done = tj + wait + s[j] / speeds[best]
+        v[best] = done
+        departures[best].append(done)
+    return waits, hosts
+
+
+def estimated_lwl_waits(
+    arrival_times: np.ndarray,
+    sizes: np.ndarray,
+    estimates: np.ndarray,
+    n_hosts: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Waits and assignments under estimate-driven LWL (paper §1.2 practice).
+
+    Routing uses a believed per-host backlog maintained from the size
+    *estimates*; the realised waits use the true sizes.  With
+    ``estimates == sizes`` this is exactly :func:`lwl_waits` up to
+    tie-breaks (ties go to the lowest host index here).
+    """
+    t = np.asarray(arrival_times, dtype=float)
+    s = np.asarray(sizes, dtype=float)
+    e = np.asarray(estimates, dtype=float)
+    if not (t.shape == s.shape == e.shape) or t.ndim != 1:
+        raise ValueError("arrival_times, sizes and estimates must match")
+    if n_hosts < 1:
+        raise ValueError(f"n_hosts must be >= 1, got {n_hosts}")
+    n = t.size
+    waits = np.empty(n)
+    hosts = np.empty(n, dtype=int)
+    believed = np.zeros(n_hosts)
+    true_v = np.zeros(n_hosts)
+    for j in range(n):
+        tj = t[j]
+        # argmin of believed work-left; np.argmin takes the lowest index
+        # on ties, matching EstimatedLWLPolicy.choose_host.
+        i = int(np.argmin(np.maximum(believed - tj, 0.0)))
+        believed[i] = max(believed[i], tj) + e[j]
+        wait = true_v[i] - tj
+        if wait < 0.0:
+            wait = 0.0
+        waits[j] = wait
+        hosts[j] = i
+        true_v[i] = tj + wait + s[j]
+    return waits, hosts
+
+
+def tags_waits(
+    arrival_times: np.ndarray, sizes: np.ndarray, cutoffs
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Responses under TAGS as a cascade of Lindley recursions.
+
+    Host ``i`` serves, FCFS, everything still alive there, for at most
+    ``cutoffs[i]`` seconds per job.  Because FCFS completions leave a host
+    in arrival order, the evicted jobs arrive at the next host already
+    time-sorted, so each level is one vectorised :func:`fcfs_waits` pass —
+    no event engine needed.
+
+    Returns ``(response_times, final_hosts, wasted_work)``, all indexed by
+    the original job order.
+    """
+    t = np.asarray(arrival_times, dtype=float)
+    s = np.asarray(sizes, dtype=float)
+    if t.shape != s.shape or t.ndim != 1:
+        raise ValueError("arrival_times and sizes must be equal-length 1-D")
+    limits = list(np.asarray(cutoffs, dtype=float)) + [np.inf]
+    if any(b <= a for a, b in zip(limits, limits[1:])):
+        raise ValueError(f"cutoffs must be strictly increasing, got {cutoffs}")
+    n = t.size
+    idx = np.arange(n)
+    level_arrivals = t
+    completion = np.empty(n)
+    final_host = np.empty(n, dtype=int)
+    wasted = np.zeros(n)
+    for host, limit in enumerate(limits):
+        service_here = np.minimum(s[idx], limit)
+        waits = fcfs_waits(level_arrivals, service_here)
+        done_at = level_arrivals + waits + service_here
+        finished = s[idx] <= limit
+        completion[idx[finished]] = done_at[finished]
+        final_host[idx[finished]] = host
+        wasted[idx[~finished]] += limit
+        idx = idx[~finished]
+        level_arrivals = done_at[~finished]
+        if idx.size == 0:
+            break
+    assert idx.size == 0, "last TAGS host must be unlimited"
+    return completion - t, final_host, wasted
+
+
+def _static_waits(
+    arrival_times: np.ndarray,
+    sizes: np.ndarray,
+    assignment: np.ndarray,
+    n_hosts: int,
+    speeds: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Waits and durations given a fixed host assignment (Lindley per host)."""
+    waits = np.empty(arrival_times.size)
+    durations = np.empty(arrival_times.size)
+    for i in range(n_hosts):
+        mask = assignment == i
+        if np.any(mask):
+            dur = sizes[mask] / speeds[i]
+            waits[mask] = fcfs_waits(arrival_times[mask], dur)
+            durations[mask] = dur
+    return waits, durations
+
+
+def simulate_fast(
+    trace: Trace,
+    policy,
+    n_hosts: int,
+    rng: np.random.Generator | int | None = None,
+    size_estimates: np.ndarray | None = None,
+    host_speeds=None,
+) -> SimulationResult:
+    """Run ``trace`` through ``policy`` on ``n_hosts`` hosts, fast.
+
+    Drop-in equivalent of
+    ``DistributedServer(n_hosts, policy, rng).run_trace(trace)`` for every
+    policy except the SJF central queue (whose reordering needs the event
+    engine — use :func:`repro.sim.runner.simulate`, which routes
+    automatically).
+
+    ``host_speeds`` enables heterogeneous hosts (a job of size x occupies
+    a speed-v host for x/v seconds) for the static, LWL, Shortest-Queue
+    and grouped-SITA kernels; the central queue loses its LWL equivalence
+    on unequal speeds and TAGS keeps its identical-host semantics — both
+    reject speeds here.
+    """
+    rng = _as_rng(rng)
+    policy.reset(n_hosts, rng)
+    t = trace.arrival_times - trace.arrival_times[0]
+    s = trace.service_times
+    if size_estimates is not None:
+        est = np.asarray(size_estimates, dtype=float)
+        if est.shape != s.shape:
+            raise ValueError("size_estimates must match the trace length")
+    else:
+        est = s
+    if host_speeds is None:
+        speeds = np.ones(n_hosts)
+    else:
+        speeds = np.asarray(host_speeds, dtype=float)
+        if speeds.shape != (n_hosts,):
+            raise ValueError(f"host_speeds must have {n_hosts} entries")
+        if np.any(speeds <= 0):
+            raise ValueError("host speeds must be positive")
+    uniform = bool(np.all(speeds == 1.0))
+
+    kind = getattr(policy, "kind", None)
+    hint = getattr(policy, "fast_hint", None)
+    if kind == "central" and getattr(policy, "discipline", "fcfs") != "fcfs":
+        raise ValueError(
+            "only the FCFS central queue reduces to the LWL recursion; "
+            "use repro.sim.runner.simulate for other disciplines"
+        )
+    if not uniform and (
+        kind in ("central", "tags") or hint == "lwl-est"
+    ):
+        raise ValueError(
+            "host_speeds are not supported for this policy: the central "
+            "queue's LWL equivalence and TAGS' cutoff semantics assume "
+            "identical hosts, and estimate-driven LWL has no speed model"
+        )
+    durations = None
+    if kind == "static":
+        assignment = np.asarray(policy.assign_batch(est, rng), dtype=int)
+        if assignment.shape != s.shape:
+            raise ValueError("assign_batch returned wrong-length assignment")
+        if assignment.min() < 0 or assignment.max() >= n_hosts:
+            raise ValueError("assign_batch returned out-of-range host index")
+        waits, durations = _static_waits(t, s, assignment, n_hosts, speeds)
+    elif kind == "central" or hint == "lwl":
+        waits, assignment = lwl_waits(t, s, n_hosts, host_speeds=speeds)
+        durations = s / speeds[assignment]
+    elif hint == "sq":
+        waits, assignment = shortest_queue_waits(t, s, n_hosts, host_speeds=speeds)
+        durations = s / speeds[assignment]
+    elif hint == "lwl-est":
+        waits, assignment = estimated_lwl_waits(t, s, est, n_hosts)
+    elif hint == "grouped":
+        waits = np.empty(s.size)
+        assignment = np.empty(s.size, dtype=int)
+        short = est <= policy.cutoff
+        n_short = policy.n_short_hosts
+        for mask, group_hosts, offset in (
+            (short, n_short, 0),
+            (~short, n_hosts - n_short, n_short),
+        ):
+            if np.any(mask):
+                w, h = lwl_waits(
+                    t[mask], s[mask], group_hosts,
+                    host_speeds=speeds[offset : offset + group_hosts],
+                )
+                waits[mask] = w
+                assignment[mask] = h + offset
+        durations = s / speeds[assignment]
+    elif kind == "tags":
+        responses, assignment, wasted = tags_waits(t, s, policy.cutoffs)
+        # response − size cancels to float noise for zero-wait jobs on
+        # long horizons; clamp (real violations would be far larger).
+        tags_w = np.maximum(responses - s, 0.0)
+        return SimulationResult(
+            policy_name=getattr(policy, "name", type(policy).__name__),
+            n_hosts=n_hosts,
+            arrival_times=t,
+            sizes=s,
+            wait_times=tags_w,
+            host_assignments=assignment,
+            wasted_work=wasted,
+        )
+    else:
+        raise ValueError(f"unsupported policy kind={kind!r}, fast_hint={hint!r}")
+
+    return SimulationResult(
+        policy_name=getattr(policy, "name", type(policy).__name__),
+        n_hosts=n_hosts,
+        arrival_times=t,
+        sizes=s,
+        wait_times=waits,
+        host_assignments=assignment,
+        processing_times=None if uniform else durations,
+    )

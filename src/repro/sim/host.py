@@ -1,0 +1,150 @@
+"""FCFS run-to-completion host machines.
+
+The paper's architectural model (section 1.1): each host machine runs the
+jobs dispatched to it in first-come-first-served order, exactly one job at
+a time, with no preemption and no time-sharing.  A host therefore has a
+single scalar of hidden state — the *virtual completion time* ``V``: the
+instant it will go idle if nothing else arrives.  Remaining work at time
+``t`` is ``max(0, V − t)``, which is what the Least-Work-Left dispatcher
+inspects.
+
+Hosts optionally enforce a processing *limit* (kill the running job after
+``limit`` seconds of service).  The base model never uses this; the TAGS
+extension (task assignment by guessing size, the paper's ref [10]) kills
+jobs that exceed a host's size cutoff and restarts them from scratch on
+the next host.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable
+
+from .engine import Simulator
+from .jobs import Job
+
+__all__ = ["FCFSHost"]
+
+
+class FCFSHost:
+    """One FCFS run-to-completion host attached to a :class:`Simulator`.
+
+    Parameters
+    ----------
+    sim:
+        The event engine driving this host.
+    host_id:
+        Index of this host within the server.
+    on_completion:
+        Called as ``on_completion(host, job)`` when a job finishes.
+    on_eviction:
+        Called as ``on_eviction(host, job)`` when a job hits ``limit``
+        and is killed (TAGS).  If ``None`` and a limit is set, eviction
+        raises — the server must opt in.
+    limit:
+        Maximum service a job may receive here before being killed
+        (``math.inf`` disables killing).
+    speed:
+        Processing speed: a job of nominal size ``x`` occupies this host
+        for ``x/speed`` seconds (1.0 = the paper's identical hosts).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host_id: int,
+        on_completion: Callable[["FCFSHost", Job], None],
+        on_eviction: Callable[["FCFSHost", Job], None] | None = None,
+        limit: float = math.inf,
+        speed: float = 1.0,
+    ) -> None:
+        if limit <= 0:
+            raise ValueError(f"limit must be positive, got {limit}")
+        if speed <= 0:
+            raise ValueError(f"speed must be positive, got {speed}")
+        self.sim = sim
+        self.host_id = host_id
+        self.on_completion = on_completion
+        self.on_eviction = on_eviction
+        self.limit = limit
+        self.speed = float(speed)
+        self.queue: deque[Job] = deque()
+        self.running: Job | None = None
+        self._virtual_completion = 0.0
+        #: Total useful service delivered (for per-host load accounting).
+        self.busy_time = 0.0
+        #: Total service delivered to jobs later evicted (wasted).
+        self.wasted_time = 0.0
+        self.jobs_completed = 0
+
+    # ------------------------------------------------------------------
+    # state inspected by dispatch policies
+    # ------------------------------------------------------------------
+
+    @property
+    def n_in_system(self) -> int:
+        """Jobs queued plus the one running (Shortest-Queue's metric)."""
+        return len(self.queue) + (1 if self.running is not None else 0)
+
+    def work_left(self, now: float) -> float:
+        """Unfinished work at ``now`` assuming true sizes (LWL's metric)."""
+        return max(0.0, self._virtual_completion - now)
+
+    @property
+    def idle(self) -> bool:
+        return self.running is None and not self.queue
+
+    # ------------------------------------------------------------------
+    # job flow
+    # ------------------------------------------------------------------
+
+    def _service_here(self, job: Job) -> float:
+        """Wall-clock time ``job`` will occupy this host (up to eviction)."""
+        return min(job.size, self.limit) / self.speed
+
+    def submit(self, job: Job) -> None:
+        """Enqueue ``job``; starts immediately if the host is idle."""
+        job.assigned_host = self.host_id
+        now = self.sim.now
+        self._virtual_completion = max(self._virtual_completion, now) + self._service_here(job)
+        self.queue.append(job)
+        if self.running is None:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        assert self.running is None
+        if not self.queue:
+            return
+        job = self.queue.popleft()
+        self.running = job
+        job.start_time = self.sim.now
+        service = self._service_here(job)
+        self.sim.schedule_after(service, self._finish, job, service)
+
+    def _finish(self, job: Job, service: float) -> None:
+        assert self.running is job
+        self.running = None
+        evicted = service * self.speed < job.size
+        if evicted:
+            self.wasted_time += service
+            job.wasted_work += service
+            job.restarts += 1
+            if self.on_eviction is None:
+                raise RuntimeError(
+                    f"host {self.host_id} evicted job {job.index} but no "
+                    "on_eviction handler is installed"
+                )
+        else:
+            self.busy_time += service
+            job.completion_time = self.sim.now
+            if self.speed != 1.0:
+                job.processing_time = service
+            self.jobs_completed += 1
+        # Start the next queued job before notifying, so simultaneous
+        # re-dispatch (central queue) sees a consistent host state.
+        self._start_next()
+        if evicted:
+            self.on_eviction(self, job)
+        else:
+            self.on_completion(self, job)

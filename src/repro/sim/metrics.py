@@ -1,0 +1,201 @@
+"""Per-job results and summary statistics.
+
+The paper evaluates three things (section 1.2): **mean slowdown** (the
+headline metric — response time over service requirement), **variance in
+slowdown** (predictability), and **mean response time**; plus **fairness**
+— expected slowdown conditioned on job size.  :class:`SimulationResult`
+holds the raw per-job arrays produced by either simulator and
+:class:`Summary` condenses them, with optional warmup trimming and
+batch-means confidence intervals for the steady-state means.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SimulationResult", "Summary", "batch_means_ci"]
+
+
+def batch_means_ci(
+    values: np.ndarray, n_batches: int = 20, z: float = 1.96
+) -> tuple[float, float]:
+    """Steady-state mean and CI half-width via the method of batch means.
+
+    Per-job metrics from a queueing simulation are autocorrelated, so the
+    naive i.i.d. CI is too narrow; batching into ``n_batches`` contiguous
+    blocks and treating the block means as independent is the standard
+    remedy.  Returns ``(mean, half_width)``.
+    """
+    v = np.asarray(values, dtype=float)
+    if v.size < 2 * n_batches:
+        raise ValueError(
+            f"need at least {2 * n_batches} observations for {n_batches} batches"
+        )
+    usable = (v.size // n_batches) * n_batches
+    batches = v[:usable].reshape(n_batches, -1).mean(axis=1)
+    mean = float(batches.mean())
+    half = float(z * batches.std(ddof=1) / math.sqrt(n_batches))
+    return mean, half
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Condensed statistics over one simulation run."""
+
+    n_jobs: int
+    mean_slowdown: float
+    var_slowdown: float
+    mean_waiting_slowdown: float
+    mean_response: float
+    var_response: float
+    mean_wait: float
+    max_slowdown: float
+    #: 95th and 99th percentile of per-job slowdown (tail predictability).
+    p95_slowdown: float
+    p99_slowdown: float
+    host_load_fraction: tuple[float, ...]
+    host_job_fraction: tuple[float, ...]
+
+    def as_row(self) -> dict[str, float]:
+        """Flatten for tabular reports."""
+        row = {
+            "n_jobs": self.n_jobs,
+            "mean_slowdown": self.mean_slowdown,
+            "var_slowdown": self.var_slowdown,
+            "mean_response": self.mean_response,
+            "var_response": self.var_response,
+            "mean_wait": self.mean_wait,
+        }
+        for i, f in enumerate(self.host_load_fraction):
+            row[f"load_frac_host{i}"] = f
+        return row
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Raw per-job output of a simulation run.
+
+    All arrays are indexed by job (in arrival order).  Derived metrics are
+    computed lazily; slicing helpers implement warmup trimming and the
+    paper's size-class conditioning.
+    """
+
+    policy_name: str
+    n_hosts: int
+    arrival_times: np.ndarray
+    sizes: np.ndarray
+    wait_times: np.ndarray
+    host_assignments: np.ndarray
+    wasted_work: np.ndarray | None = None
+    #: time the job actually occupied its host; defaults to ``sizes``
+    #: (unit-speed hosts).  Differs on heterogeneous-speed hosts, where a
+    #: nominal size x runs for x/speed seconds.
+    processing_times: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        n = self.arrival_times.size
+        for name in ("sizes", "wait_times", "host_assignments"):
+            if getattr(self, name).size != n:
+                raise ValueError(f"{name} length mismatch")
+        if self.processing_times is not None:
+            if self.processing_times.size != n:
+                raise ValueError("processing_times length mismatch")
+            if np.any(self.processing_times <= 0):
+                raise ValueError("processing times must be positive")
+        if np.any(self.wait_times < -1e-9):
+            raise ValueError("negative wait time — simulator bug")
+
+    # ------------------------------------------------------------------
+    # derived per-job arrays
+    # ------------------------------------------------------------------
+
+    @property
+    def n_jobs(self) -> int:
+        return self.arrival_times.size
+
+    @property
+    def response_times(self) -> np.ndarray:
+        if self.processing_times is not None:
+            return self.wait_times + self.processing_times
+        return self.wait_times + self.sizes
+
+    @property
+    def slowdowns(self) -> np.ndarray:
+        """Response / size — the paper's headline per-job metric."""
+        return self.response_times / self.sizes
+
+    @property
+    def waiting_slowdowns(self) -> np.ndarray:
+        """Wait / size (the quantity in the paper's Theorem 1)."""
+        return self.wait_times / self.sizes
+
+    # ------------------------------------------------------------------
+    # summaries
+    # ------------------------------------------------------------------
+
+    def trimmed(self, warmup_fraction: float = 0.0) -> "SimulationResult":
+        """Drop the first ``warmup_fraction`` of jobs (transient removal)."""
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError(f"warmup_fraction must be in [0,1), got {warmup_fraction}")
+        start = int(self.n_jobs * warmup_fraction)
+        if start == 0:
+            return self
+        return SimulationResult(
+            policy_name=self.policy_name,
+            n_hosts=self.n_hosts,
+            arrival_times=self.arrival_times[start:],
+            sizes=self.sizes[start:],
+            wait_times=self.wait_times[start:],
+            host_assignments=self.host_assignments[start:],
+            wasted_work=None if self.wasted_work is None else self.wasted_work[start:],
+            processing_times=None
+            if self.processing_times is None
+            else self.processing_times[start:],
+        )
+
+    def summary(self, warmup_fraction: float = 0.0) -> Summary:
+        """Compute the paper's metrics, optionally after warmup trimming."""
+        r = self.trimmed(warmup_fraction)
+        slow = r.slowdowns
+        resp = r.response_times
+        total_work = float(np.sum(r.sizes))
+        load_frac = []
+        job_frac = []
+        for i in range(r.n_hosts):
+            mask = r.host_assignments == i
+            load_frac.append(float(np.sum(r.sizes[mask])) / total_work)
+            job_frac.append(float(np.mean(mask)))
+        return Summary(
+            n_jobs=r.n_jobs,
+            mean_slowdown=float(np.mean(slow)),
+            var_slowdown=float(np.var(slow)),
+            mean_waiting_slowdown=float(np.mean(r.waiting_slowdowns)),
+            mean_response=float(np.mean(resp)),
+            var_response=float(np.var(resp)),
+            mean_wait=float(np.mean(r.wait_times)),
+            max_slowdown=float(np.max(slow)),
+            p95_slowdown=float(np.percentile(slow, 95)),
+            p99_slowdown=float(np.percentile(slow, 99)),
+            host_load_fraction=tuple(load_frac),
+            host_job_fraction=tuple(job_frac),
+        )
+
+    def class_mean_slowdowns(self, cutoff: float) -> tuple[float, float]:
+        """Mean slowdown of (short, long) jobs split at ``cutoff``.
+
+        SITA-U-fair is defined by these two numbers being equal.
+        """
+        short = self.sizes <= cutoff
+        if not short.any() or short.all():
+            raise ValueError(f"cutoff {cutoff} leaves an empty size class")
+        slow = self.slowdowns
+        return float(np.mean(slow[short])), float(np.mean(slow[~short]))
+
+    def slowdown_ci(
+        self, warmup_fraction: float = 0.0, n_batches: int = 20
+    ) -> tuple[float, float]:
+        """Batch-means CI for mean slowdown."""
+        return batch_means_ci(self.trimmed(warmup_fraction).slowdowns, n_batches)

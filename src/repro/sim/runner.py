@@ -1,0 +1,70 @@
+"""High-level simulation entry point.
+
+:func:`simulate` is the one call users need: it routes each policy to the
+fastest correct backend (vectorised kernels for everything except the
+SJF central queue, which needs the event engine) and returns a
+:class:`~repro.sim.metrics.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..workloads.distributions import _as_rng
+from ..workloads.traces import Trace
+from .fast import simulate_fast
+from .metrics import SimulationResult
+from .server import DistributedServer
+
+__all__ = ["simulate"]
+
+
+def simulate(
+    trace: Trace,
+    policy,
+    n_hosts: int,
+    rng: np.random.Generator | int | None = None,
+    size_estimates: np.ndarray | None = None,
+    backend: str = "auto",
+    host_speeds=None,
+) -> SimulationResult:
+    """Replay ``trace`` through ``policy`` on ``n_hosts`` hosts.
+
+    Parameters
+    ----------
+    trace:
+        Job arrival epochs and service requirements.
+    policy:
+        Any task assignment policy (see :mod:`repro.core.policies`).
+    n_hosts:
+        Number of identical FCFS run-to-completion hosts.
+    rng:
+        Seed or generator for policy randomness; the same seed yields the
+        same result on either backend for deterministic policies.
+    size_estimates:
+        Optional per-job size estimates shown to the dispatcher instead of
+        the true sizes (section-7 robustness studies).
+    backend:
+        ``"auto"`` (fast kernels when possible), ``"fast"`` (force; an
+        error for policies only the event engine implements) or
+        ``"event"`` (force the reference engine).
+    """
+    if backend not in ("auto", "fast", "event"):
+        raise ValueError(f"unknown backend {backend!r}")
+    rng = _as_rng(rng)
+    kind = getattr(policy, "kind", None)
+    import numpy as _np
+
+    hetero = host_speeds is not None and not _np.all(
+        _np.asarray(host_speeds, dtype=float) == 1.0
+    )
+    needs_event = (
+        kind == "central" and getattr(policy, "discipline", "fcfs") != "fcfs"
+    ) or (hetero and kind == "central")
+    if backend == "event" or (backend == "auto" and needs_event):
+        server = DistributedServer(n_hosts, policy, rng, host_speeds=host_speeds)
+        return server.run_trace(trace, size_estimates=size_estimates)
+    return simulate_fast(
+        trace, policy, n_hosts, rng=rng, size_estimates=size_estimates,
+        host_speeds=host_speeds,
+    )

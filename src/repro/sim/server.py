@@ -1,0 +1,247 @@
+"""The distributed server: dispatcher + hosts, driven by a job trace.
+
+This is the paper's architectural model (figure 1): a single stream of
+batch jobs arrives at a dispatcher, which sends each job to exactly one of
+``h`` identical FCFS run-to-completion hosts according to a *task
+assignment policy*.  Three dispatch disciplines exist:
+
+* **immediate dispatch** (``policy.kind`` of ``"static"`` or ``"state"``):
+  the job is routed the instant it arrives — Random, Round-Robin,
+  Shortest-Queue, Least-Work-Left and all the SITA variants work this way;
+* **central queue** (``policy.kind == "central"``): jobs are held at the
+  dispatcher in FCFS order and a host pulls the next job when it goes
+  idle — provably equivalent to Least-Work-Left (paper section 3.1);
+* **TAGS** (``policy.kind == "tags"``): every job starts on host 0; host
+  ``i`` kills any job that exceeds cutoff ``i`` and the job restarts from
+  scratch on host ``i+1`` (the unknown-size policy of the paper's ref
+  [10], included as an extension).
+
+Policies are duck-typed (see :class:`repro.core.policies.base.Policy` for
+the reference protocol) so the simulator has no dependency on the policy
+package.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+import numpy as np
+
+from ..workloads.distributions import _as_rng
+from ..workloads.traces import Trace
+from .engine import Simulator
+from .host import FCFSHost
+from .jobs import Job
+from .metrics import SimulationResult
+
+__all__ = ["DistributedServer", "SystemState"]
+
+
+class SystemState:
+    """Read-only view of the server handed to state-dependent policies."""
+
+    __slots__ = ("_server",)
+
+    def __init__(self, server: "DistributedServer") -> None:
+        self._server = server
+
+    @property
+    def now(self) -> float:
+        return self._server.sim.now
+
+    @property
+    def n_hosts(self) -> int:
+        return len(self._server.hosts)
+
+    def work_left(self) -> np.ndarray:
+        """Remaining work at each host (true sizes)."""
+        now = self._server.sim.now
+        return np.array([h.work_left(now) for h in self._server.hosts])
+
+    def queue_lengths(self) -> np.ndarray:
+        """Jobs in system (queued + running) at each host."""
+        return np.array([h.n_in_system for h in self._server.hosts])
+
+
+class DistributedServer:
+    """Event-driven distributed server fed by a :class:`Trace`.
+
+    Parameters
+    ----------
+    n_hosts:
+        Number of identical host machines.
+    policy:
+        A task assignment policy (see module docstring for the protocol).
+    rng:
+        Seed or generator for any randomness inside the policy.
+    """
+
+    def __init__(
+        self,
+        n_hosts: int,
+        policy,
+        rng: np.random.Generator | int | None = None,
+        host_speeds=None,
+    ) -> None:
+        if n_hosts < 1:
+            raise ValueError(f"n_hosts must be >= 1, got {n_hosts}")
+        kind = getattr(policy, "kind", None)
+        if kind not in ("static", "state", "central", "tags"):
+            raise ValueError(f"policy {policy!r} has unsupported kind {kind!r}")
+        if kind == "tags" and n_hosts != len(policy.cutoffs) + 1:
+            raise ValueError(
+                f"TAGS with {len(policy.cutoffs)} cutoffs needs "
+                f"{len(policy.cutoffs) + 1} hosts, got {n_hosts}"
+            )
+        if host_speeds is None:
+            speeds = np.ones(n_hosts)
+        else:
+            speeds = np.asarray(host_speeds, dtype=float)
+            if speeds.shape != (n_hosts,):
+                raise ValueError(
+                    f"host_speeds must have {n_hosts} entries, got {speeds.shape}"
+                )
+            if np.any(speeds <= 0):
+                raise ValueError("host speeds must be positive")
+            if kind == "tags" and not np.all(speeds == 1.0):
+                raise ValueError(
+                    "TAGS cutoff semantics are defined for identical hosts; "
+                    "heterogeneous speeds are not supported"
+                )
+        self.host_speeds = speeds
+        self.policy = policy
+        self.rng = _as_rng(rng)
+        self.sim = Simulator()
+        limits = [math.inf] * n_hosts
+        on_eviction = None
+        if kind == "tags":
+            limits = list(policy.cutoffs) + [math.inf]
+            on_eviction = self._handle_eviction
+        self.hosts = [
+            FCFSHost(
+                self.sim,
+                i,
+                on_completion=self._handle_completion,
+                on_eviction=on_eviction,
+                limit=limits[i],
+                speed=float(speeds[i]),
+            )
+            for i in range(n_hosts)
+        ]
+        self.state = SystemState(self)
+        self.central_queue: deque[Job] = deque()
+        self._completed: list[Job] = []
+        policy.reset(n_hosts, self.rng)
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+
+    def _handle_arrival(self, job: Job) -> None:
+        kind = self.policy.kind
+        if kind == "central":
+            self.central_queue.append(job)
+            self._feed_idle_hosts()
+        elif kind == "tags":
+            self.hosts[0].submit(job)
+        else:
+            host_idx = self.policy.choose_host(job, self.state)
+            if not 0 <= host_idx < len(self.hosts):
+                raise ValueError(
+                    f"policy returned invalid host {host_idx} for job {job.index}"
+                )
+            self.hosts[host_idx].submit(job)
+
+    def _handle_completion(self, host: FCFSHost, job: Job) -> None:
+        self._completed.append(job)
+        if self.policy.kind == "central":
+            self._feed_idle_hosts()
+
+    def _handle_eviction(self, host: FCFSHost, job: Job) -> None:
+        nxt = host.host_id + 1
+        assert nxt < len(self.hosts), "last host must never evict"
+        self.hosts[nxt].submit(job)
+
+    def _pop_central(self) -> Job:
+        """Take the next job from the central queue per the discipline."""
+        if getattr(self.policy, "discipline", "fcfs") == "sjf":
+            best = min(
+                range(len(self.central_queue)),
+                key=lambda i: self.central_queue[i].size_estimate,
+            )
+            job = self.central_queue[best]
+            del self.central_queue[best]
+            return job
+        return self.central_queue.popleft()
+
+    def _feed_idle_hosts(self) -> None:
+        for host in self.hosts:
+            if not self.central_queue:
+                return
+            if host.idle:
+                host.submit(self._pop_central())
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+
+    def run_trace(self, trace: Trace, size_estimates=None) -> SimulationResult:
+        """Replay ``trace`` through the server and collect per-job results.
+
+        Parameters
+        ----------
+        trace:
+            Arrival epochs and service requirements.
+        size_estimates:
+            Optional per-job size estimates shown to the policy instead of
+            the true sizes (section-7 robustness experiments).
+        """
+        if size_estimates is not None:
+            est = np.asarray(size_estimates, dtype=float)
+            if est.shape != trace.service_times.shape:
+                raise ValueError("size_estimates must match the trace length")
+        else:
+            est = trace.service_times
+        t0 = trace.arrival_times[0]
+        for i in range(trace.n_jobs):
+            job = Job(
+                index=i,
+                arrival_time=float(trace.arrival_times[i] - t0),
+                size=float(trace.service_times[i]),
+                size_estimate=float(est[i]),
+            )
+            self.sim.schedule(job.arrival_time, self._handle_arrival, job)
+        self.sim.run()
+        if len(self._completed) != trace.n_jobs:
+            raise RuntimeError(
+                f"simulation ended with {len(self._completed)} of "
+                f"{trace.n_jobs} jobs completed"
+            )
+        jobs = sorted(self._completed, key=lambda j: j.index)
+        sizes = np.array([j.size for j in jobs])
+        waits = np.array([j.wait_time for j in jobs])
+        # Long horizons lose absolute precision: completion − arrival − size
+        # can cancel to a tiny negative for a zero-wait job.  Clamp those;
+        # anything beyond float noise is a real bug and must still raise.
+        if np.any(waits < -1e-6 * (1.0 + sizes)):
+            raise RuntimeError("negative wait time beyond float tolerance")
+        np.maximum(waits, 0.0, out=waits)
+        processing = None
+        if not np.all(self.host_speeds == 1.0):
+            processing = np.array(
+                [
+                    j.processing_time if j.processing_time is not None else j.size
+                    for j in jobs
+                ]
+            )
+        return SimulationResult(
+            policy_name=getattr(self.policy, "name", type(self.policy).__name__),
+            n_hosts=len(self.hosts),
+            arrival_times=np.array([j.arrival_time for j in jobs]),
+            sizes=sizes,
+            wait_times=waits,
+            host_assignments=np.array([j.assigned_host for j in jobs], dtype=int),
+            wasted_work=np.array([j.wasted_work for j in jobs]),
+            processing_times=processing,
+        )

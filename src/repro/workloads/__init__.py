@@ -1,0 +1,77 @@
+"""Workload substrate: distributions, arrival processes, traces, catalog."""
+
+from .arrivals import (
+    ArrivalProcess,
+    MMPP2Arrivals,
+    PoissonArrivals,
+    RenewalArrivals,
+    TraceArrivals,
+    load_for_rate,
+    rate_for_load,
+)
+from .catalog import WORKLOAD_NAMES, c90, ctc, get_workload, j90
+from .distributions import (
+    BoundedPareto,
+    ConditionalDistribution,
+    Deterministic,
+    Empirical,
+    Erlang,
+    Exponential,
+    Hyperexponential,
+    Lognormal,
+    Pareto,
+    ScaledDistribution,
+    ServiceDistribution,
+    Weibull,
+)
+from .synthetic import (
+    SyntheticWorkload,
+    half_load_tail_fraction,
+    half_load_tail_fraction_dist,
+)
+from .stats import (
+    autocorrelation,
+    index_of_dispersion,
+    scv,
+    trace_characterisation,
+)
+from .traces import SWF_FIELDS, Trace, TraceStats, read_swf, write_swf
+
+__all__ = [
+    "ArrivalProcess",
+    "MMPP2Arrivals",
+    "PoissonArrivals",
+    "RenewalArrivals",
+    "TraceArrivals",
+    "load_for_rate",
+    "rate_for_load",
+    "WORKLOAD_NAMES",
+    "c90",
+    "ctc",
+    "get_workload",
+    "j90",
+    "BoundedPareto",
+    "ConditionalDistribution",
+    "Deterministic",
+    "Empirical",
+    "Erlang",
+    "Exponential",
+    "Hyperexponential",
+    "Lognormal",
+    "Pareto",
+    "ScaledDistribution",
+    "ServiceDistribution",
+    "Weibull",
+    "SyntheticWorkload",
+    "half_load_tail_fraction",
+    "half_load_tail_fraction_dist",
+    "autocorrelation",
+    "index_of_dispersion",
+    "scv",
+    "trace_characterisation",
+    "SWF_FIELDS",
+    "Trace",
+    "TraceStats",
+    "read_swf",
+    "write_swf",
+]

@@ -1,0 +1,131 @@
+"""The paper's three workloads, reconstructed from their published statistics.
+
+Table 1 of the paper characterises three job logs:
+
+========  ==================  ========  ============  =========  =====
+system    duration            #jobs     mean service  max        C²
+========  ==================  ========  ============  =========  =====
+PSC C90   Jan–Dec 1997        ~55,000   ~4.6e3 s      ~2.2e6 s   ≈ 43
+PSC J90   Jan–Dec 1997        ~10,000   ~6.5e3 s      ~1.8e6 s   ≈ 39
+CTC SP2   Jul 1996–May 1997   ~8,500*   ~4.5e3 s      43,200 s   low
+========  ==================  ========  ============  =========  =====
+
+(*) 8-processor jobs only; runtimes capped at 12 h = 43,200 s because CTC
+killed longer jobs.
+
+The PSC logs are proprietary and the CTC log is not shipped offline, so
+each catalog entry is a calibrated synthetic model (DESIGN.md §4):
+
+* **C90 / J90** — a lognormal fitted to the published (mean, C²).  The
+  lognormal family is the standard empirical model for supercomputing
+  runtimes (Feitelson's workload-modelling line; the paper's own refs use
+  lognormal/hyper-gamma bodies), and the fit reproduces the rest of
+  Table 1 *for free*: at ~55k samples the expected minimum is ≈ 1 s and
+  the expected maximum ≈ 2.1×10⁶ s (paper: 2.2×10⁶), and the largest
+  ≈ 2.6 % of jobs carry half the load (paper: 1.3 %).  We verified a
+  bounded Pareto *cannot* do this — matching (min=1 s, mean, C²) forces
+  α ≈ 0.29, which floods the trace with sub-10-second jobs and erases the
+  variance reduction SITA relies on, while matching (mean, C², max)
+  forces min ≈ 750 s and erases the tiny jobs whose slowdown drives the
+  fairness result.  The lognormal satisfies all four statistics at once
+  and reproduces every qualitative comparison in the paper.
+* **CTC** — a lognormal right-truncated at the 12-hour kill limit, with
+  the *truncated* moments matching the targets
+  (:meth:`~repro.workloads.distributions.Lognormal.fit_truncated`), which
+  models the administrative cap literally.
+
+``tests/workloads/test_catalog.py`` asserts the calibration targets and
+the structural facts above.  A user holding the real logs can bypass the
+catalog entirely::
+
+    Trace.from_swf("CTC-SP2-1996-3.1-cln.swf").filter_processors(8)
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .distributions import Lognormal
+from .synthetic import SyntheticWorkload
+
+__all__ = ["c90", "j90", "ctc", "get_workload", "WORKLOAD_NAMES"]
+
+#: Names accepted by :func:`get_workload`.
+WORKLOAD_NAMES = ("c90", "j90", "ctc")
+
+#: the CTC 12-hour runtime kill limit, in seconds.
+CTC_RUNTIME_CAP = 43_200.0
+
+
+@lru_cache(maxsize=None)
+def c90() -> SyntheticWorkload:
+    """PSC Cray C90-like workload (the paper's headline dataset).
+
+    Calibration targets: mean 4562.6 s, C² = 43 (quoted explicitly in
+    paper §3.3).  The fitted lognormal's implied extremes over 54,962
+    samples match Table 1's min/max, and the biggest ≈ 2.6 % of jobs
+    carry half the load (paper: 1.3 %).
+    """
+    return SyntheticWorkload(
+        name="c90",
+        service_dist=Lognormal.fit(mean=4562.6, scv=43.0),
+        n_jobs=54_962,
+        description=(
+            "PSC Cray C90 batch jobs, Jan-Dec 1997 (synthetic lognormal "
+            "calibrated to the paper's Table 1)"
+        ),
+    )
+
+
+@lru_cache(maxsize=None)
+def j90() -> SyntheticWorkload:
+    """PSC Cray J90-like workload (appendix B dataset).
+
+    The paper reports the J90 results as "virtually identical" to the
+    C90; we calibrate a slightly smaller machine's log: mean 6538.1 s,
+    C² = 39.
+    """
+    return SyntheticWorkload(
+        name="j90",
+        service_dist=Lognormal.fit(mean=6538.1, scv=39.0),
+        n_jobs=10_240,
+        description=(
+            "PSC Cray J90 batch jobs, Jan-Dec 1997 (synthetic lognormal "
+            "calibrated to the paper's Table 1)"
+        ),
+    )
+
+
+@lru_cache(maxsize=None)
+def ctc() -> SyntheticWorkload:
+    """CTC IBM SP2-like workload (appendix C dataset).
+
+    8-processor jobs under the 12-hour kill limit: the observed runtimes
+    are a lognormal right-truncated at 43,200 s.  Calibration: truncated
+    mean 4520 s, truncated C² = 3.0 — "considerably lower variance" than
+    the PSC logs (paper §2.1) while still skewed enough that the policy
+    ordering persists (appendix C).
+    """
+    return SyntheticWorkload(
+        name="ctc",
+        service_dist=Lognormal.fit_truncated(
+            mean=4520.0, scv=3.0, upper=CTC_RUNTIME_CAP
+        ),
+        n_jobs=8_567,
+        description=(
+            "CTC IBM SP2 8-processor jobs, Jul 1996-May 1997 (synthetic "
+            "truncated lognormal with the 12-hour runtime cap)"
+        ),
+    )
+
+
+def get_workload(name: str) -> SyntheticWorkload:
+    """Look up a calibrated workload by name (``c90``, ``j90`` or ``ctc``)."""
+    key = name.strip().lower()
+    factories = {"c90": c90, "j90": j90, "ctc": ctc}
+    try:
+        return factories[key]()
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; expected one of {WORKLOAD_NAMES}"
+        ) from None

@@ -1,0 +1,102 @@
+"""Workload characterisation statistics.
+
+The paper's conclusions lean on two workload properties: the variability
+of job *sizes* (C², Table 1) and — in section 6 — the variability and
+burstiness of the *arrival process*.  This module quantifies both for any
+trace or sample:
+
+* :func:`scv` — squared coefficient of variation of a sample;
+* :func:`autocorrelation` — lag-k autocorrelation (sessions and bursty
+  logs show strongly positive low-lag ACF; i.i.d. samples ≈ 0);
+* :func:`index_of_dispersion` — variance/mean of arrival *counts* per
+  window, the classical burstiness index (1 for Poisson, ≫1 for storms);
+* :func:`trace_characterisation` — one dict with everything, for reports.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .traces import Trace
+
+__all__ = [
+    "scv",
+    "autocorrelation",
+    "index_of_dispersion",
+    "trace_characterisation",
+]
+
+
+def scv(values) -> float:
+    """Squared coefficient of variation ``Var/mean²`` of a sample."""
+    v = np.asarray(values, dtype=float)
+    if v.size < 2:
+        raise ValueError("need at least two observations")
+    m = float(np.mean(v))
+    if m == 0.0:
+        raise ValueError("mean is zero; SCV undefined")
+    return float(np.var(v) / m**2)
+
+
+def autocorrelation(values, lag: int = 1) -> float:
+    """Lag-``k`` sample autocorrelation (Pearson, mean-removed)."""
+    v = np.asarray(values, dtype=float)
+    if lag < 1:
+        raise ValueError(f"lag must be >= 1, got {lag}")
+    if v.size <= lag + 1:
+        raise ValueError(f"need more than {lag + 1} observations for lag {lag}")
+    a = v[:-lag] - np.mean(v)
+    b = v[lag:] - np.mean(v)
+    denom = float(np.sum((v - np.mean(v)) ** 2))
+    if denom == 0.0:
+        return 0.0
+    return float(np.sum(a * b) / denom)
+
+
+def index_of_dispersion(arrival_times, window: float | None = None) -> float:
+    """Variance-to-mean ratio of arrival counts in fixed windows.
+
+    1 for a Poisson process; grows with burstiness.  ``window`` defaults
+    to ten mean interarrival times (long enough to see clustering, short
+    enough to give many windows).
+    """
+    t = np.asarray(arrival_times, dtype=float)
+    if t.size < 20:
+        raise ValueError("need at least 20 arrivals")
+    span = float(t[-1] - t[0])
+    if span <= 0:
+        raise ValueError("arrivals must span positive time")
+    if window is None:
+        window = 10.0 * span / (t.size - 1)
+    n_windows = int(span / window)
+    if n_windows < 5:
+        raise ValueError("window too large: fewer than 5 windows")
+    edges = t[0] + window * np.arange(n_windows + 1)
+    counts, _ = np.histogram(t, bins=edges)
+    mean = float(np.mean(counts))
+    if mean == 0.0:
+        raise ValueError("no arrivals per window; enlarge the window")
+    return float(np.var(counts) / mean)
+
+
+def trace_characterisation(trace: Trace, acf_lags: tuple[int, ...] = (1, 10)) -> dict:
+    """Everything the paper's arguments need, in one dict."""
+    gaps = trace.interarrivals
+    out = {
+        "n_jobs": trace.n_jobs,
+        "mean_service": trace.mean_service,
+        "service_scv": scv(trace.service_times),
+        "interarrival_scv": scv(gaps) if gaps.size >= 2 else math.nan,
+        "dispersion": index_of_dispersion(trace.arrival_times)
+        if trace.n_jobs >= 20
+        else math.nan,
+    }
+    for lag in acf_lags:
+        key = f"service_acf_lag{lag}"
+        try:
+            out[key] = autocorrelation(trace.service_times, lag)
+        except ValueError:
+            out[key] = math.nan
+    return out

@@ -1,0 +1,144 @@
+"""Tests for the M/G/1 Pollaczek–Khinchine machinery.
+
+The strongest checks are against closed-form M/M/1 results (where every
+metric has an exact independent formula) and against direct simulation of
+a single FCFS host — the simulator and the analysis must be two views of
+the same model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.mg1 import mg1_metrics, utilisation
+from repro.core.policies import RandomPolicy
+from repro.sim.runner import simulate
+from repro.workloads.distributions import (
+    BoundedPareto,
+    Deterministic,
+    Erlang,
+    Exponential,
+    Lognormal,
+)
+from tests.conftest import make_poisson_trace
+
+
+class TestAgainstMM1ClosedForms:
+    """M/M/1: E[W] = rho/(mu - lambda) exactly."""
+
+    @pytest.mark.parametrize("rho", [0.1, 0.5, 0.9])
+    def test_mean_wait(self, rho):
+        mean = 10.0
+        lam = rho / mean
+        m = mg1_metrics(lam, Exponential(mean))
+        expected = rho * mean / (1.0 - rho)
+        assert m.mean_wait == pytest.approx(expected, rel=1e-12)
+
+    def test_queue_length_little(self):
+        m = mg1_metrics(0.05, Exponential(10.0))
+        assert m.mean_queue_length == pytest.approx(0.05 * m.mean_wait, rel=1e-12)
+
+    def test_mm1_wait_variance(self):
+        # M/M/1 FCFS waiting time: P(W=0)=1-rho, exp tail; known moments:
+        # E[W^2] = 2 rho / (mu^2 (1-rho)^2).
+        mean, rho = 2.0, 0.6
+        lam = rho / mean
+        m = mg1_metrics(lam, Exponential(mean))
+        expected_w2 = 2.0 * rho * mean**2 / (1.0 - rho) ** 2
+        assert m.second_moment_wait == pytest.approx(expected_w2, rel=1e-12)
+
+
+class TestMD1:
+    def test_deterministic_halves_wait(self):
+        """E[W_{M/D/1}] = E[W_{M/M/1}]/2 at the same mean and load."""
+        mean, rho = 5.0, 0.7
+        lam = rho / mean
+        md1 = mg1_metrics(lam, Deterministic(mean))
+        mm1 = mg1_metrics(lam, Exponential(mean))
+        assert md1.mean_wait == pytest.approx(mm1.mean_wait / 2.0, rel=1e-12)
+
+
+class TestStability:
+    def test_unstable_raises(self):
+        with pytest.raises(ValueError, match="unstable"):
+            mg1_metrics(0.2, Exponential(10.0))
+
+    def test_utilisation(self):
+        assert utilisation(0.05, Exponential(10.0)) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            utilisation(0.0, Exponential(1.0))
+
+    def test_wait_diverges_near_saturation(self):
+        mean = 1.0
+        w_low = mg1_metrics(0.5, Exponential(mean)).mean_wait
+        w_high = mg1_metrics(0.999, Exponential(mean)).mean_wait
+        assert w_high > 100 * w_low
+
+
+class TestAgainstSimulation:
+    """A 1-host server fed Poisson arrivals *is* an M/G/1 queue."""
+
+    @pytest.mark.parametrize(
+        "dist,rho",
+        [
+            (Exponential(10.0), 0.5),
+            (Erlang(4, 10.0), 0.7),
+            (Lognormal.fit(100.0, 4.0), 0.5),
+        ],
+        ids=["mm1", "me1", "mlogn1"],
+    )
+    def test_mean_wait_matches(self, dist, rho):
+        trace = make_poisson_trace(dist, rho, 1, 400_000, seed=5)
+        result = simulate(trace, RandomPolicy(), 1, rng=0)
+        sim_wait = float(np.mean(result.trimmed(0.1).wait_times))
+        pred = mg1_metrics(rho / dist.mean, dist).mean_wait
+        assert sim_wait == pytest.approx(pred, rel=0.1)
+
+    def test_mean_wait_matches_heavy_tail_via_empirical_moments(self):
+        """For a heavy tail (BP alpha=1.5) the sample E[X^2] converges
+        slowly, so the fair check applies PK to the *trace's own* empirical
+        distribution — isolating the queueing dynamics from sampling noise."""
+        from repro.workloads.distributions import Empirical
+
+        dist = BoundedPareto(1.0, 1e4, 1.5)
+        rho = 0.5
+        trace = make_poisson_trace(dist, rho, 1, 400_000, seed=5)
+        result = simulate(trace, RandomPolicy(), 1, rng=0)
+        sim_wait = float(np.mean(result.trimmed(0.1).wait_times))
+        emp = Empirical(trace.service_times)
+        lam = (trace.n_jobs - 1) / trace.duration
+        pred = mg1_metrics(lam, emp).mean_wait
+        assert sim_wait == pytest.approx(pred, rel=0.15)
+
+    def test_mean_slowdown_matches(self):
+        dist = Lognormal.fit(100.0, 4.0)
+        rho = 0.6
+        trace = make_poisson_trace(dist, rho, 1, 400_000, seed=6)
+        result = simulate(trace, RandomPolicy(), 1, rng=0)
+        sim_slow = float(np.mean(result.trimmed(0.1).slowdowns))
+        pred = mg1_metrics(rho / dist.mean, dist).mean_slowdown
+        assert sim_slow == pytest.approx(pred, rel=0.1)
+
+    def test_var_slowdown_matches(self):
+        # Use a moderate-variability distribution so 4e5 jobs converge
+        # (and one whose E[1/X^2] is finite — Erlang-2's is not).
+        dist = Lognormal.fit(50.0, 2.0)
+        rho = 0.5
+        trace = make_poisson_trace(dist, rho, 1, 400_000, seed=7)
+        result = simulate(trace, RandomPolicy(), 1, rng=0)
+        sim_var = float(np.var(result.trimmed(0.1).slowdowns))
+        pred = mg1_metrics(rho / dist.mean, dist).var_slowdown
+        assert sim_var == pytest.approx(pred, rel=0.25)
+
+
+class TestSlowdownFactorisation:
+    def test_mean_slowdown_is_one_plus_waiting(self):
+        m = mg1_metrics(0.01, Lognormal.fit(50.0, 9.0))
+        assert m.mean_slowdown == pytest.approx(1.0 + m.mean_waiting_slowdown)
+
+    def test_heavier_service_tail_raises_wait(self):
+        lam = 0.005
+        light = mg1_metrics(lam, Lognormal.fit(100.0, 1.0))
+        heavy = mg1_metrics(lam, Lognormal.fit(100.0, 40.0))
+        assert heavy.mean_wait > 10 * light.mean_wait

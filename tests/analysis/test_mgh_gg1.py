@@ -1,0 +1,85 @@
+"""Tests for the M/G/h and G/G/1 approximations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.gg1 import erlang_arrival_scv, gg1_metrics
+from repro.analysis.mg1 import mg1_metrics
+from repro.analysis.mgh import mgh_metrics
+from repro.analysis.mmh import mmh_metrics
+from repro.core.policies import CentralQueuePolicy, RoundRobinPolicy
+from repro.sim.runner import simulate
+from repro.workloads.distributions import Exponential, Hyperexponential, Lognormal
+from tests.conftest import make_poisson_trace
+
+
+class TestMGh:
+    def test_exact_for_h1(self):
+        dist = Lognormal.fit(50.0, 8.0)
+        lam = 0.6 / dist.mean
+        assert mgh_metrics(lam, dist, 1).mean_wait == pytest.approx(
+            mg1_metrics(lam, dist).mean_wait, rel=1e-12
+        )
+
+    def test_exact_for_exponential_service(self):
+        dist = Exponential(7.0)
+        lam = 3 * 0.8 / dist.mean
+        assert mgh_metrics(lam, dist, 3).mean_wait == pytest.approx(
+            mmh_metrics(lam, dist.mean, 3).mean_wait, rel=1e-12
+        )
+
+    def test_scales_with_service_variability(self):
+        lam = 2 * 0.7 / 10.0
+        low = mgh_metrics(lam, Hyperexponential.fit_balanced(10.0, 2.0), 2)
+        high = mgh_metrics(lam, Hyperexponential.fit_balanced(10.0, 32.0), 2)
+        assert high.mean_wait == pytest.approx(
+            low.mean_wait * (33.0 / 3.0), rel=1e-9
+        )  # (1+C2)/2 ratio
+
+    def test_against_simulated_central_queue(self):
+        """The approximation should land within ~20 % for moderate C²."""
+        dist = Hyperexponential.fit_balanced(10.0, 4.0)
+        rho, h = 0.7, 2
+        trace = make_poisson_trace(dist, rho, h, 400_000, seed=21)
+        result = simulate(trace, CentralQueuePolicy(), h, rng=0)
+        sim_wait = float(np.mean(result.trimmed(0.1).wait_times))
+        pred = mgh_metrics(rho * h / dist.mean, dist, h).mean_wait
+        assert sim_wait == pytest.approx(pred, rel=0.25)
+
+
+class TestGG1:
+    def test_reduces_to_mg1_at_poisson(self):
+        dist = Lognormal.fit(20.0, 5.0)
+        lam = 0.5 / dist.mean
+        assert gg1_metrics(lam, dist, 1.0).mean_wait == pytest.approx(
+            mg1_metrics(lam, dist).mean_wait, rel=1e-12
+        )
+
+    def test_erlang_arrival_scv(self):
+        assert erlang_arrival_scv(4) == pytest.approx(0.25)
+        with pytest.raises(ValueError):
+            erlang_arrival_scv(0)
+
+    def test_smoother_arrivals_reduce_wait(self):
+        dist = Lognormal.fit(20.0, 5.0)
+        lam = 0.7 / dist.mean
+        poisson = gg1_metrics(lam, dist, 1.0).mean_wait
+        erlang4 = gg1_metrics(lam, dist, 0.25).mean_wait
+        bursty = gg1_metrics(lam, dist, 20.0).mean_wait
+        assert erlang4 < poisson < bursty
+
+    def test_round_robin_prediction_vs_simulation(self):
+        """Round-Robin hosts see E_h/G/1; the approximation should be close."""
+        dist = Hyperexponential.fit_balanced(10.0, 4.0)
+        rho, h = 0.7, 2
+        trace = make_poisson_trace(dist, rho, h, 400_000, seed=22)
+        result = simulate(trace, RoundRobinPolicy(), h, rng=0)
+        sim_wait = float(np.mean(result.trimmed(0.1).wait_times))
+        pred = gg1_metrics(rho / dist.mean, dist, erlang_arrival_scv(h)).mean_wait
+        assert sim_wait == pytest.approx(pred, rel=0.25)
+
+    def test_negative_scv_rejected(self):
+        with pytest.raises(ValueError):
+            gg1_metrics(0.01, Exponential(10.0), -1.0)

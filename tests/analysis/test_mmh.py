@@ -1,0 +1,94 @@
+"""Tests for Erlang-B/C and M/M/h metrics against textbook values."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.mmh import erlang_b, erlang_c, mmh_metrics
+from repro.core.policies import CentralQueuePolicy
+from repro.sim.runner import simulate
+from repro.workloads.distributions import Exponential
+from tests.conftest import make_poisson_trace
+
+
+def erlang_b_direct(n: int, a: float) -> float:
+    """Textbook definition: (a^n/n!) / sum_k (a^k/k!)."""
+    terms = [a**k / math.factorial(k) for k in range(n + 1)]
+    return terms[-1] / sum(terms)
+
+
+class TestErlangB:
+    @pytest.mark.parametrize("n,a", [(1, 0.5), (2, 1.0), (5, 3.0), (10, 8.0), (20, 15.0)])
+    def test_matches_direct_formula(self, n, a):
+        assert erlang_b(n, a) == pytest.approx(erlang_b_direct(n, a), rel=1e-12)
+
+    def test_single_server(self):
+        # B(1, a) = a / (1 + a)
+        assert erlang_b(1, 2.0) == pytest.approx(2.0 / 3.0)
+
+    def test_monotone_in_load(self):
+        assert erlang_b(5, 1.0) < erlang_b(5, 4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            erlang_b(0, 1.0)
+        with pytest.raises(ValueError):
+            erlang_b(2, 0.0)
+
+
+class TestErlangC:
+    def test_single_server_equals_rho(self):
+        # C(1, rho) = rho for M/M/1.
+        assert erlang_c(1, 0.7) == pytest.approx(0.7, rel=1e-12)
+
+    def test_known_value(self):
+        # Standard table value: C(2, 1.0) = 1/3.
+        assert erlang_c(2, 1.0) == pytest.approx(1.0 / 3.0, rel=1e-9)
+
+    def test_unstable_raises(self):
+        with pytest.raises(ValueError):
+            erlang_c(2, 2.0)
+
+    def test_bounded_probability(self):
+        for n, a in [(2, 1.5), (8, 6.0), (32, 30.0)]:
+            c = erlang_c(n, a)
+            assert 0.0 < c < 1.0
+
+
+class TestMMhMetrics:
+    def test_reduces_to_mm1(self):
+        mean, rho = 4.0, 0.6
+        m = mmh_metrics(rho / mean, mean, 1)
+        assert m.mean_wait == pytest.approx(rho * mean / (1 - rho), rel=1e-12)
+
+    def test_little_law(self):
+        m = mmh_metrics(0.3, 5.0, 4)
+        assert m.mean_queue_length == pytest.approx(0.3 * m.mean_wait, rel=1e-12)
+
+    def test_pooling_beats_splitting(self):
+        # M/M/4 at the same per-server load waits less than M/M/1.
+        mean = 1.0
+        w1 = mmh_metrics(0.8, mean, 1).mean_wait
+        w4 = mmh_metrics(3.2, mean, 4).mean_wait
+        assert w4 < w1
+
+    def test_against_simulation(self):
+        """Central-Queue on exponential service is an M/M/h queue."""
+        dist = Exponential(10.0)
+        rho, h = 0.7, 3
+        trace = make_poisson_trace(dist, rho, h, 300_000, seed=11)
+        result = simulate(trace, CentralQueuePolicy(), h, rng=0)
+        sim_wait = float(np.mean(result.trimmed(0.1).wait_times))
+        pred = mmh_metrics(rho * h / dist.mean, dist.mean, h).mean_wait
+        assert sim_wait == pytest.approx(pred, rel=0.08)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mmh_metrics(0.0, 1.0, 2)
+        with pytest.raises(ValueError):
+            mmh_metrics(1.0, 1.0, -1)
+        with pytest.raises(ValueError, match="unstable"):
+            mmh_metrics(1.0, 3.0, 2)

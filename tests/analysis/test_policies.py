@@ -1,0 +1,248 @@
+"""Tests for the per-policy analytic predictions (figures 8/9 machinery)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.policies import (
+    arrival_rate_for_load,
+    predict_lwl,
+    predict_random,
+    predict_round_robin,
+    predict_sita,
+)
+from repro.core.cutoffs import equal_load_cutoffs
+from repro.workloads.distributions import Exponential, Lognormal
+
+
+@pytest.fixture(scope="module")
+def dist():
+    return Lognormal.fit(4562.6, 43.0)
+
+
+class TestRateConversion:
+    def test_definition(self, dist):
+        lam = arrival_rate_for_load(0.5, dist, 2)
+        assert lam * dist.mean / 2 == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, 1.5])
+    def test_rejects_out_of_range(self, dist, bad):
+        with pytest.raises(ValueError):
+            arrival_rate_for_load(bad, dist, 2)
+
+
+class TestPaperOrdering:
+    """The paper's section 3 ordering must hold analytically."""
+
+    @pytest.mark.parametrize("load", [0.3, 0.5, 0.7, 0.8])
+    def test_random_worst_sita_best(self, dist, load):
+        cut = equal_load_cutoffs(dist, 2)
+        rnd = predict_random(load, dist, 2).mean_slowdown
+        lwl = predict_lwl(load, dist, 2).mean_slowdown
+        sita = predict_sita(load, dist, 2, cut, "sita-e").mean_slowdown
+        assert rnd > lwl > sita
+
+    @pytest.mark.parametrize("load", [0.5, 0.7])
+    def test_random_to_sita_gap_is_large(self, dist, load):
+        cut = equal_load_cutoffs(dist, 2)
+        rnd = predict_random(load, dist, 2).mean_slowdown
+        sita = predict_sita(load, dist, 2, cut, "sita-e").mean_slowdown
+        assert rnd / sita > 6.0  # paper: "factor of 10"
+
+    def test_round_robin_close_to_random(self, dist):
+        """RR only smooths arrivals; size variability dominates (paper §3.3)."""
+        rnd = predict_random(0.7, dist, 2).mean_slowdown
+        rr = predict_round_robin(0.7, dist, 2).mean_slowdown
+        assert rr == pytest.approx(rnd, rel=0.35)
+        assert rr < rnd  # slightly better, never worse
+
+    def test_random_insensitive_to_host_count(self, dist):
+        """Random with h hosts at system load rho is h independent M/G/1
+        queues each at utilisation rho — identical per-job metrics."""
+        a = predict_random(0.6, dist, 2).mean_slowdown
+        b = predict_random(0.6, dist, 4).mean_slowdown
+        assert a == pytest.approx(b, rel=1e-12)
+
+    def test_lwl_improves_with_hosts(self, dist):
+        """More hosts at fixed system load help LWL a lot (paper fig 3)."""
+        a = predict_lwl(0.7, dist, 2).mean_slowdown
+        b = predict_lwl(0.7, dist, 4).mean_slowdown
+        assert b < a
+
+    def test_exponential_service_reverses_verdict(self):
+        """With C² = 1 there is little to gain from SITA — the workload
+        drives the policy choice (paper conclusions)."""
+        d = Exponential(100.0)
+        cut = equal_load_cutoffs(d, 2)
+        # Slowdown diverges for exponential service (density at 0), so the
+        # comparison uses mean waiting time.
+        lwl = predict_lwl(0.7, d, 2).mean_wait
+        sita = predict_sita(0.7, d, 2, cut, "sita-e").mean_wait
+        assert lwl < sita
+
+
+class TestPredictionFields:
+    def test_random_variance_finite(self, dist):
+        p = predict_random(0.5, dist, 2)
+        assert p.var_slowdown > 0 and math.isfinite(p.var_slowdown)
+
+    def test_lwl_variance_is_nan(self, dist):
+        assert math.isnan(predict_lwl(0.5, dist, 2).var_slowdown)
+
+    def test_sita_reports_policy_name(self, dist):
+        cut = equal_load_cutoffs(dist, 2)
+        p = predict_sita(0.5, dist, 2, cut, "sita-e")
+        assert p.policy == "sita-e"
+
+    def test_monotone_in_load(self, dist):
+        slows = [predict_lwl(l, dist, 2).mean_slowdown for l in (0.2, 0.5, 0.8)]
+        assert slows[0] < slows[1] < slows[2]
+
+
+class TestGroupedSITA:
+    def test_reduces_to_mgh_per_group(self, dist):
+        """With a cutoff beyond the support everything is one LWL group."""
+        from repro.analysis.policies import predict_grouped_sita
+
+        cut = dist.ppf(1 - 1e-15) * 10
+        g = predict_grouped_sita(0.5, dist, 4, cut, 3)
+        # Short group = full stream on 3 hosts at utilisation 0.5*4/3 — the
+        # mean slowdown must match the plain M/G/3 approximation.
+        from repro.analysis.mgh import mgh_metrics
+
+        lam = 0.5 * 4 / dist.mean
+        expected = mgh_metrics(lam, dist, 3).mean_slowdown
+        assert g.mean_slowdown == pytest.approx(expected, rel=1e-6)
+
+    def test_beats_plain_lwl_at_moderate_hosts(self, dist):
+        from repro.analysis.policies import predict_grouped_sita
+        from repro.core.cutoffs import fair_cutoff, short_host_load_fraction
+        import numpy as np
+
+        cut = fair_cutoff(0.7, dist)
+        f = short_host_load_fraction(dist, cut)
+        for h in (4, 8, 16):
+            ns = int(np.clip(round(h * f), 1, h - 1))
+            g = predict_grouped_sita(0.7, dist, h, cut, ns)
+            l = predict_lwl(0.7, dist, h)
+            assert g.mean_slowdown < l.mean_slowdown
+
+    def test_converges_to_lwl_at_many_hosts(self, dist):
+        from repro.analysis.policies import predict_grouped_sita
+        from repro.core.cutoffs import fair_cutoff, short_host_load_fraction
+        import numpy as np
+
+        cut = fair_cutoff(0.7, dist)
+        f = short_host_load_fraction(dist, cut)
+        ns = int(np.clip(round(64 * f), 1, 63))
+        g = predict_grouped_sita(0.7, dist, 64, cut, ns)
+        l = predict_lwl(0.7, dist, 64)
+        assert g.mean_slowdown == pytest.approx(l.mean_slowdown, rel=1.0)
+
+    def test_group_split_validated(self, dist):
+        from repro.analysis.policies import predict_grouped_sita
+
+        with pytest.raises(ValueError):
+            predict_grouped_sita(0.5, dist, 4, 100.0, 0)
+        with pytest.raises(ValueError):
+            predict_grouped_sita(0.5, dist, 4, 100.0, 4)
+
+    def test_matches_grouped_simulation(self, dist):
+        """Analytic grouped model vs the grouped-SITA fast simulator."""
+        import numpy as np
+
+        from repro.analysis.policies import predict_grouped_sita
+        from repro.core.cutoffs import fair_cutoff, short_host_load_fraction
+        from repro.core.policies import GroupedSITAPolicy
+        from repro.sim.runner import simulate
+        from repro.workloads.catalog import c90
+
+        load, h = 0.7, 8
+        cut = fair_cutoff(load, dist)
+        f = short_host_load_fraction(dist, cut)
+        ns = int(np.clip(round(h * f), 1, h - 1))
+        trace = c90().make_trace(load=load, n_hosts=h, n_jobs=300_000, rng=17)
+        sim = simulate(trace, GroupedSITAPolicy(cut, ns), h, rng=0).summary(0.1)
+        ana = predict_grouped_sita(load, dist, h, cut, ns)
+        assert sim.mean_slowdown == pytest.approx(ana.mean_slowdown, rel=0.6)
+
+
+class TestBurstyPredictions:
+    def test_reduces_to_poisson_at_scv_one(self, dist):
+        from repro.analysis.policies import predict_sita_bursty
+        from repro.core.cutoffs import equal_load_cutoffs
+
+        cut = equal_load_cutoffs(dist, 2)
+        poisson = predict_sita(0.6, dist, 2, cut, "x")
+        bursty = predict_sita_bursty(0.6, dist, 2, cut, arrival_scv=1.0)
+        assert bursty.mean_slowdown == pytest.approx(poisson.mean_slowdown, rel=1e-9)
+
+    def test_burstiness_hurts(self, dist):
+        from repro.analysis.policies import predict_lwl_bursty, predict_sita_bursty
+        from repro.core.cutoffs import fair_cutoff
+
+        cut = [fair_cutoff(0.7, dist)]
+        calm = predict_sita_bursty(0.7, dist, 2, cut, arrival_scv=1.0)
+        storm = predict_sita_bursty(0.7, dist, 2, cut, arrival_scv=50.0)
+        assert storm.mean_slowdown > calm.mean_slowdown
+        assert (
+            predict_lwl_bursty(0.7, dist, 2, 50.0).mean_wait
+            > predict_lwl_bursty(0.7, dist, 2, 1.0).mean_wait
+        )
+
+    def test_gap_closes_with_burstiness(self, dist):
+        """The §6 trend: SITA-U's advantage over LWL shrinks as the
+        arrival SCV grows — now visible analytically, not just in sim."""
+        from repro.analysis.policies import predict_lwl_bursty, predict_sita_bursty
+        from repro.core.cutoffs import fair_cutoff
+
+        load = 0.9
+        cut = [fair_cutoff(load, dist)]
+
+        def ratio(ca2):
+            s = predict_sita_bursty(load, dist, 2, cut, ca2).mean_slowdown
+            l = predict_lwl_bursty(load, dist, 2, ca2).mean_slowdown
+            return s / l
+
+        assert ratio(200.0) > ratio(1.0)
+
+    def test_short_host_keeps_the_burstiness(self, dist):
+        """The thinning asymmetry: the short host's effective arrival SCV
+        stays near the stream's, the long host's collapses toward 1."""
+        from repro.core.cutoffs import equal_load_cutoffs
+
+        cut = equal_load_cutoffs(dist, 2)[0]
+        p_short = dist.prob_interval(0.0, cut)
+        p_long = 1.0 - p_short
+        ca2 = 40.0
+        assert 1.0 + p_short * (ca2 - 1.0) > 30.0
+        assert 1.0 + p_long * (ca2 - 1.0) < 3.0
+
+    def test_against_bursty_simulation(self, dist):
+        from repro.analysis.policies import predict_sita_bursty
+        from repro.core.cutoffs import fair_cutoff
+        from repro.core.policies import SITAPolicy
+        from repro.sim.runner import simulate
+        from repro.workloads.arrivals import RenewalArrivals
+        from repro.workloads.catalog import c90
+
+        load, scv = 0.7, 20.0
+        cut = fair_cutoff(load, dist)
+        trace = c90().make_trace(
+            load=load, n_hosts=2, n_jobs=300_000, rng=77,
+            arrivals=RenewalArrivals.bursty(1.0, scv),
+        )
+        sim = simulate(trace, SITAPolicy([cut]), 2, rng=0).summary(0.1)
+        ana = predict_sita_bursty(load, dist, 2, [cut], scv)
+        # Allen-Cunneen is a rough approximation; demand the right ballpark.
+        assert sim.mean_slowdown == pytest.approx(ana.mean_slowdown, rel=0.6)
+
+    def test_validation(self, dist):
+        from repro.analysis.policies import predict_lwl_bursty, predict_sita_bursty
+
+        with pytest.raises(ValueError):
+            predict_sita_bursty(0.5, dist, 2, [1000.0], -1.0)
+        with pytest.raises(ValueError):
+            predict_lwl_bursty(0.5, dist, 2, -1.0)

@@ -1,0 +1,114 @@
+"""Tests for the per-slice SITA analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.mg1 import mg1_metrics
+from repro.analysis.sita_analysis import analyze_sita, sita_host_loads
+from repro.core.policies import SITAPolicy
+from repro.sim.runner import simulate
+from repro.workloads.distributions import Exponential, Lognormal
+from tests.conftest import make_poisson_trace
+
+
+@pytest.fixture(scope="module")
+def dist():
+    return Lognormal.fit(100.0, 16.0)
+
+
+class TestConsistency:
+    def test_host_loads_sum_to_total(self, dist):
+        lam = 2 * 0.7 / dist.mean
+        loads = sita_host_loads(lam, dist, [dist.ppf(0.9)])
+        assert float(np.sum(loads)) == pytest.approx(2 * 0.7, rel=1e-9)
+
+    def test_job_and_load_fractions_sum_to_one(self, dist):
+        lam = 2 * 0.5 / dist.mean
+        a = analyze_sita(lam, dist, [dist.ppf(0.95)])
+        assert sum(h.job_fraction for h in a.hosts) == pytest.approx(1.0, rel=1e-9)
+        assert sum(h.load_fraction for h in a.hosts) == pytest.approx(1.0, rel=1e-9)
+
+    def test_mixture_of_class_slowdowns(self, dist):
+        lam = 2 * 0.6 / dist.mean
+        a = analyze_sita(lam, dist, [dist.ppf(0.9)])
+        mix = sum(
+            h.job_fraction * s
+            for h, s in zip(a.hosts, a.class_mean_slowdowns())
+        )
+        assert a.mean_slowdown == pytest.approx(mix, rel=1e-9)
+
+    def test_single_interval_is_plain_mg1(self, dist):
+        # A cutoff beyond the support routes everything to host 0.
+        lam = 0.5 / dist.mean
+        a = analyze_sita(lam, dist, [dist.ppf(1 - 1e-15) * 10])
+        m = mg1_metrics(lam, dist)
+        assert a.mean_slowdown == pytest.approx(m.mean_slowdown, rel=1e-6)
+
+    def test_empty_slice_reported(self, dist):
+        lam = 0.5 / dist.mean
+        a = analyze_sita(lam, dist, [dist.ppf(1 - 1e-15) * 10])
+        assert a.hosts[1].mg1 is None
+        assert a.hosts[1].job_fraction == 0.0
+
+    def test_variance_nonnegative(self, dist):
+        lam = 2 * 0.7 / dist.mean
+        a = analyze_sita(lam, dist, [dist.ppf(0.97)])
+        assert a.var_slowdown >= 0.0
+
+    def test_infeasible_raises(self, dist):
+        lam = 2 * 0.9 / dist.mean
+        # Cutoff at the 10th percentile: host 1 carries ~all the load.
+        with pytest.raises(ValueError, match="infeasible"):
+            analyze_sita(lam, dist, [dist.ppf(0.1)])
+
+    def test_decreasing_cutoffs_rejected(self, dist):
+        with pytest.raises(ValueError):
+            analyze_sita(0.001, dist, [100.0, 50.0])
+
+
+class TestVarianceReduction:
+    def test_sita_slices_have_lower_scv(self, dist):
+        """The paper's core intuition: each slice sees reduced variability."""
+        cut = dist.ppf(0.97)
+        short = dist.conditional(0.0, cut)
+        assert short.scv < dist.scv / 3.0
+
+    def test_exponential_gains_little(self):
+        """With C² = 1 SITA's variance reduction is marginal — the
+        'distribution matters' conclusion in reverse."""
+        d = Exponential(100.0)
+        lam = 2 * 0.7 / d.mean
+        from repro.core.cutoffs import equal_load_cutoffs
+
+        cut = equal_load_cutoffs(d, 2)
+        sita = analyze_sita(lam, d, cut)
+        single = mg1_metrics(lam / 2, d)
+        # Waits, not slowdowns: E[1/X] diverges for exponential service.
+        assert sita.mean_wait > single.mean_wait / 4.0
+
+
+class TestAgainstSimulation:
+    def test_mean_slowdown_matches_simulation(self, dist):
+        rho = 0.6
+        cut = dist.ppf(0.95)
+        trace = make_poisson_trace(dist, rho, 2, 400_000, seed=31)
+        result = simulate(trace, SITAPolicy([cut]), 2, rng=0)
+        sim = float(np.mean(result.trimmed(0.1).slowdowns))
+        a = analyze_sita(2 * rho / dist.mean, dist, [cut])
+        assert sim == pytest.approx(a.mean_slowdown, rel=0.15)
+
+    def test_load_fractions_match_simulation(self, dist):
+        rho = 0.5
+        cut = dist.ppf(0.9)
+        trace = make_poisson_trace(dist, rho, 2, 200_000, seed=32)
+        result = simulate(trace, SITAPolicy([cut]), 2, rng=0)
+        summ = result.summary()
+        a = analyze_sita(2 * rho / dist.mean, dist, [cut])
+        assert summ.host_load_fraction[0] == pytest.approx(
+            a.hosts[0].load_fraction, abs=0.03
+        )
+        assert summ.host_job_fraction[0] == pytest.approx(
+            a.hosts[0].job_fraction, abs=0.01
+        )

@@ -1,0 +1,178 @@
+"""Tests for Laplace-transform inversion of the M/G/1 waiting time."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.mg1 import mg1_metrics
+from repro.analysis.transforms import (
+    LaplaceEvaluator,
+    mg1_waiting_cdf,
+    mg1_waiting_slowdown_ccdf,
+)
+from repro.core.policies import RandomPolicy
+from repro.sim.runner import simulate
+from repro.workloads.distributions import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    Hyperexponential,
+    Lognormal,
+)
+from tests.conftest import make_poisson_trace
+
+
+class TestLaplaceEvaluator:
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            Exponential(5.0),
+            Erlang(3, 9.0),
+            Hyperexponential([0.3, 0.7], [1.0, 20.0]),
+            Deterministic(4.0),
+            Lognormal.fit(100.0, 8.0),
+        ],
+        ids=["exp", "erlang", "h2", "det", "logn"],
+    )
+    def test_at_zero_is_one(self, dist):
+        lt = LaplaceEvaluator(dist)
+        assert lt(0.0).real == pytest.approx(1.0, rel=1e-6)
+
+    @pytest.mark.parametrize(
+        "dist",
+        [Exponential(5.0), Erlang(3, 9.0), Lognormal.fit(50.0, 4.0)],
+        ids=["exp", "erlang", "logn"],
+    )
+    def test_derivative_at_zero_is_minus_mean(self, dist):
+        lt = LaplaceEvaluator(dist)
+        eps = 1e-7
+        deriv = (lt(eps).real - lt(0.0).real) / eps
+        assert -deriv == pytest.approx(dist.mean, rel=1e-3)
+
+    def test_matches_monte_carlo(self, rng):
+        d = Lognormal.fit(100.0, 8.0)
+        lt = LaplaceEvaluator(d)
+        x = d.sample(400_000, rng)
+        for s in (0.001, 0.01, 0.1):
+            assert lt(s).real == pytest.approx(np.mean(np.exp(-s * x)), rel=0.01)
+
+    def test_complex_argument(self):
+        lt = LaplaceEvaluator(Exponential(2.0))
+        s = complex(0.1, 0.5)
+        expected = 0.5 / (0.5 + s)
+        got = lt(s)
+        assert got.real == pytest.approx(expected.real, rel=1e-9)
+        assert got.imag == pytest.approx(expected.imag, rel=1e-9)
+
+
+class TestWaitingCdf:
+    def test_exact_mm1(self):
+        d = Exponential(10.0)
+        rho = 0.7
+        lam = rho / d.mean
+        mu = 1.0 / d.mean
+        for t in (0.5, 5.0, 50.0, 300.0):
+            exact = 1.0 - rho * math.exp(-mu * (1 - rho) * t)
+            assert mg1_waiting_cdf(lam, d, t) == pytest.approx(exact, abs=1e-6)
+
+    def test_atom_at_zero(self):
+        d = Exponential(10.0)
+        assert mg1_waiting_cdf(0.05, d, 0.0) == pytest.approx(0.5)
+
+    def test_negative_t(self):
+        assert mg1_waiting_cdf(0.05, Exponential(10.0), -1.0) == 0.0
+
+    def test_monotone_and_bounded(self):
+        d = Lognormal.fit(100.0, 8.0)
+        lam = 0.6 / d.mean
+        ts = np.logspace(0, 5, 20)
+        vals = mg1_waiting_cdf(lam, d, ts)
+        assert np.all(np.diff(vals) >= -1e-6)
+        assert np.all((0.0 <= vals) & (vals <= 1.0))
+
+    def test_mean_from_cdf(self):
+        """E[W] from numerically integrating the CCDF matches PK."""
+        d = Erlang(2, 10.0)
+        lam = 0.6 / d.mean
+        ts = np.linspace(1e-3, 400.0, 2000)
+        ccdf = 1.0 - mg1_waiting_cdf(lam, d, ts)
+        mean_w = float(np.trapezoid(ccdf, ts))
+        assert mean_w == pytest.approx(mg1_metrics(lam, d).mean_wait, rel=0.01)
+
+    def test_unstable_raises(self):
+        with pytest.raises(ValueError):
+            mg1_waiting_cdf(1.0, Exponential(10.0), 1.0)
+
+    def test_against_simulation(self):
+        d = Lognormal.fit(50.0, 4.0)
+        rho = 0.6
+        trace = make_poisson_trace(d, rho, 1, 300_000, seed=41)
+        result = simulate(trace, RandomPolicy(), 1, rng=0).trimmed(0.1)
+        lam = rho / d.mean
+        for t in (10.0, 100.0, 1000.0):
+            sim = float(np.mean(result.wait_times <= t))
+            ana = mg1_waiting_cdf(lam, d, t)
+            assert sim == pytest.approx(ana, abs=0.03)
+
+
+class TestSlowdownTail:
+    def test_against_simulation(self):
+        d = Lognormal.fit(50.0, 4.0)
+        rho = 0.6
+        trace = make_poisson_trace(d, rho, 1, 300_000, seed=42)
+        result = simulate(trace, RandomPolicy(), 1, rng=0).trimmed(0.1)
+        lam = rho / d.mean
+        for y in (1.0, 10.0, 100.0):
+            sim = float(np.mean(result.waiting_slowdowns > y))
+            ana = mg1_waiting_slowdown_ccdf(lam, d, y)
+            assert sim == pytest.approx(ana, abs=0.03)
+
+    def test_monotone_in_y(self):
+        d = Lognormal.fit(100.0, 8.0)
+        lam = 0.5 / d.mean
+        vals = mg1_waiting_slowdown_ccdf(lam, d, np.array([0.1, 1.0, 10.0, 100.0]))
+        assert np.all(np.diff(vals) <= 1e-9)
+
+    def test_negative_threshold(self):
+        d = Exponential(10.0)
+        assert mg1_waiting_slowdown_ccdf(0.05, d, -1.0) == 1.0
+
+
+class TestSlowdownQuantile:
+    def test_matches_simulation(self):
+        from repro.analysis.transforms import mg1_waiting_slowdown_quantile
+
+        d = Lognormal.fit(50.0, 4.0)
+        rho = 0.6
+        trace = make_poisson_trace(d, rho, 1, 300_000, seed=43)
+        result = simulate(trace, RandomPolicy(), 1, rng=0).trimmed(0.1)
+        lam = rho / d.mean
+        for q in (0.9, 0.99):
+            sim = float(np.quantile(result.waiting_slowdowns, q))
+            ana = mg1_waiting_slowdown_quantile(lam, d, q)
+            assert ana == pytest.approx(sim, rel=0.25)
+
+    def test_zero_below_idle_probability(self):
+        from repro.analysis.transforms import mg1_waiting_slowdown_quantile
+
+        d = Exponential(10.0)
+        # rho = 0.3: 70% of jobs wait 0, so the median waiting slowdown is 0.
+        assert mg1_waiting_slowdown_quantile(0.03, d, 0.5) == 0.0
+
+    def test_monotone_in_q(self):
+        from repro.analysis.transforms import mg1_waiting_slowdown_quantile
+
+        d = Lognormal.fit(100.0, 8.0)
+        lam = 0.7 / d.mean
+        q90 = mg1_waiting_slowdown_quantile(lam, d, 0.90)
+        q99 = mg1_waiting_slowdown_quantile(lam, d, 0.99)
+        assert q99 > q90 > 0.0
+
+    def test_validation(self):
+        from repro.analysis.transforms import mg1_waiting_slowdown_quantile
+
+        with pytest.raises(ValueError):
+            mg1_waiting_slowdown_quantile(0.01, Exponential(10.0), 1.5)

@@ -1,0 +1,72 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    BoundedPareto,
+    Exponential,
+    Lognormal,
+    PoissonArrivals,
+    Trace,
+    c90,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def c90_workload():
+    return c90()
+
+
+@pytest.fixture(scope="session")
+def c90_dist():
+    return c90().service_dist
+
+
+@pytest.fixture(scope="session")
+def small_c90_trace():
+    """A modest C90 trace at load 0.7 on 2 hosts (session-cached)."""
+    return c90().make_trace(load=0.7, n_hosts=2, n_jobs=5_000, rng=777)
+
+
+@pytest.fixture
+def tiny_trace() -> Trace:
+    """A hand-written 5-job trace with easily traceable dynamics."""
+    return Trace(
+        arrival_times=[0.0, 1.0, 2.0, 3.0, 10.0],
+        service_times=[4.0, 2.0, 1.0, 8.0, 1.0],
+        name="tiny",
+    )
+
+
+@pytest.fixture
+def exp_dist() -> Exponential:
+    return Exponential(10.0)
+
+
+@pytest.fixture
+def bp_dist() -> BoundedPareto:
+    return BoundedPareto(k=1.0, p=1e5, alpha=1.1)
+
+
+@pytest.fixture
+def logn_dist() -> Lognormal:
+    return Lognormal.fit(mean=1000.0, scv=10.0)
+
+
+def make_poisson_trace(
+    dist, load: float, n_hosts: int, n_jobs: int, seed: int
+) -> Trace:
+    """Build a Poisson-arrival trace for an arbitrary distribution."""
+    rng = np.random.default_rng(seed)
+    rate = load * n_hosts / dist.mean
+    arrivals = np.cumsum(PoissonArrivals(rate).sample_interarrivals(n_jobs, rng))
+    sizes = dist.sample(n_jobs, rng)
+    return Trace(arrivals, sizes, name="poisson-test")

@@ -1,0 +1,238 @@
+"""Tests for the cutoff engines — the paper's central machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.sita_analysis import analyze_sita, sita_host_loads
+from repro.core.cutoffs import (
+    equal_load_cutoffs,
+    fair_cutoff,
+    fair_cutoffs_multi,
+    feasible_cutoff_range,
+    opt_cutoff,
+    opt_cutoffs_multi,
+    short_host_load_fraction,
+    sim_fair_cutoff,
+    sim_opt_cutoff,
+)
+from repro.workloads.catalog import c90
+from repro.workloads.distributions import Empirical, Lognormal
+
+
+@pytest.fixture(scope="module")
+def dist():
+    return c90().service_dist
+
+
+class TestEqualLoad:
+    def test_two_hosts_split_load_evenly(self, dist):
+        c = equal_load_cutoffs(dist, 2)
+        assert c.size == 1
+        assert short_host_load_fraction(dist, c[0]) == pytest.approx(0.5, abs=1e-9)
+
+    @pytest.mark.parametrize("h", [2, 3, 4, 8])
+    def test_h_hosts_equal_slices(self, dist, h):
+        cuts = equal_load_cutoffs(dist, h)
+        lam = h * 0.7 / dist.mean
+        loads = sita_host_loads(lam, dist, cuts)
+        np.testing.assert_allclose(loads, 0.7, rtol=1e-6)
+
+    def test_most_jobs_go_short(self, dist):
+        """Paper: 98.7 % of C90 jobs land on Host 1 under SITA-E."""
+        c = equal_load_cutoffs(dist, 2)[0]
+        assert dist.cdf(c) > 0.95
+
+    def test_needs_two_hosts(self, dist):
+        with pytest.raises(ValueError):
+            equal_load_cutoffs(dist, 1)
+
+    def test_empirical_distribution(self, rng):
+        values = Lognormal.fit(100.0, 10.0).sample(5000, rng)
+        cuts = equal_load_cutoffs(Empirical(values), 2)
+        frac = short_host_load_fraction(Empirical(values), cuts[0])
+        assert frac == pytest.approx(0.5, abs=0.02)
+
+
+class TestFeasibleRange:
+    @pytest.mark.parametrize("load", [0.3, 0.6, 0.9])
+    def test_endpoints_are_stable(self, dist, load):
+        c_min, c_max = feasible_cutoff_range(load, dist)
+        assert c_min < c_max
+        lam = 2 * load / dist.mean
+        for c in (c_min * 1.01, c_max * 0.99):
+            loads = sita_host_loads(lam, dist, [c])
+            assert np.all(loads < 1.0)
+
+    def test_range_shrinks_with_load(self, dist):
+        lo_range = feasible_cutoff_range(0.3, dist)
+        hi_range = feasible_cutoff_range(0.9, dist)
+        assert hi_range[0] > lo_range[0] or hi_range[1] < lo_range[1]
+
+    def test_rejects_bad_load(self, dist):
+        with pytest.raises(ValueError):
+            feasible_cutoff_range(1.2, dist)
+
+
+class TestOptCutoff:
+    def test_beats_equal_load(self, dist):
+        """SITA-U-opt must not be worse than SITA-E (it optimises over a
+        set containing the SITA-E cutoff)."""
+        load = 0.7
+        lam = 2 * load / dist.mean
+        ce = equal_load_cutoffs(dist, 2)[0]
+        co = opt_cutoff(load, dist)
+        assert (
+            analyze_sita(lam, dist, [co]).mean_slowdown
+            <= analyze_sita(lam, dist, [ce]).mean_slowdown + 1e-9
+        )
+
+    def test_is_local_minimum(self, dist):
+        load = 0.5
+        lam = 2 * load / dist.mean
+        co = opt_cutoff(load, dist)
+        base = analyze_sita(lam, dist, [co]).mean_slowdown
+        for factor in (0.9, 1.1):
+            assert analyze_sita(lam, dist, [co * factor]).mean_slowdown >= base - 1e-9
+
+    @pytest.mark.parametrize("load", [0.3, 0.5, 0.7, 0.9])
+    def test_underloads_short_host(self, dist, load):
+        """The paper's headline: the optimal cutoff sends < half the load
+        to Host 1."""
+        co = opt_cutoff(load, dist)
+        assert short_host_load_fraction(dist, co) < 0.5
+
+    def test_alternative_metric(self, dist):
+        c_resp = opt_cutoff(0.7, dist, metric="mean_response")
+        lam = 2 * 0.7 / dist.mean
+        base = analyze_sita(lam, dist, [c_resp]).mean_response
+        for factor in (0.9, 1.1):
+            assert analyze_sita(lam, dist, [c_resp * factor]).mean_response >= base - 1e-9
+
+
+class TestFairCutoff:
+    @pytest.mark.parametrize("load", [0.3, 0.5, 0.7, 0.9])
+    def test_equalises_class_slowdowns(self, dist, load):
+        cf = fair_cutoff(load, dist)
+        lam = 2 * load / dist.mean
+        s_short, s_long = analyze_sita(lam, dist, [cf]).class_mean_slowdowns()
+        assert s_short == pytest.approx(s_long, rel=1e-6)
+
+    @pytest.mark.parametrize("load", [0.3, 0.5, 0.7, 0.9])
+    def test_also_underloads_short_host(self, dist, load):
+        """Counter-to-intuition (paper §4): fairness also unbalances."""
+        cf = fair_cutoff(load, dist)
+        assert short_host_load_fraction(dist, cf) < 0.5
+
+    def test_fair_close_to_opt(self, dist):
+        """Paper fig 4: SITA-U-fair only slightly worse than SITA-U-opt."""
+        load = 0.7
+        lam = 2 * load / dist.mean
+        s_opt = analyze_sita(lam, dist, [opt_cutoff(load, dist)]).mean_slowdown
+        s_fair = analyze_sita(lam, dist, [fair_cutoff(load, dist)]).mean_slowdown
+        assert s_fair < 2.5 * s_opt
+
+
+class TestMultiHost:
+    def test_opt_multi_beats_equal_load(self, dist):
+        load, h = 0.7, 3
+        lam = h * load / dist.mean
+        ce = equal_load_cutoffs(dist, h)
+        co = opt_cutoffs_multi(load, dist, h)
+        assert (
+            analyze_sita(lam, dist, co).mean_slowdown
+            <= analyze_sita(lam, dist, ce).mean_slowdown + 1e-9
+        )
+
+    def test_opt_multi_reduces_to_pairwise(self, dist):
+        np.testing.assert_allclose(
+            opt_cutoffs_multi(0.5, dist, 2), [opt_cutoff(0.5, dist)], rtol=1e-6
+        )
+
+    def test_fair_multi_equalises_all_classes(self, dist):
+        load, h = 0.6, 3
+        cf = fair_cutoffs_multi(load, dist, h)
+        lam = h * load / dist.mean
+        slows = analyze_sita(lam, dist, cf).class_mean_slowdowns()
+        assert max(slows) / min(slows) == pytest.approx(1.0, rel=5e-3)
+
+    def test_fair_multi_reduces_to_pairwise(self, dist):
+        np.testing.assert_allclose(
+            fair_cutoffs_multi(0.5, dist, 2), [fair_cutoff(0.5, dist)], rtol=1e-6
+        )
+
+
+class TestSimulationSearch:
+    """The paper derived cutoffs both ways and found agreement."""
+
+    @pytest.fixture(scope="class")
+    def train(self):
+        return c90().make_trace(load=0.7, n_hosts=2, n_jobs=30_000, rng=2024)
+
+    def test_sim_opt_agrees_with_analytic(self, dist, train):
+        c_sim = sim_opt_cutoff(train, n_candidates=30)
+        c_ana = opt_cutoff(0.7, Empirical(train.service_times))
+        # Same order of magnitude on the log-size axis (grid resolution).
+        assert abs(np.log10(c_sim) - np.log10(c_ana)) < 0.8
+
+    def test_sim_fair_agrees_with_analytic(self, dist, train):
+        c_sim = sim_fair_cutoff(train, n_candidates=30)
+        c_ana = fair_cutoff(0.7, Empirical(train.service_times))
+        assert abs(np.log10(c_sim) - np.log10(c_ana)) < 0.8
+
+    def test_sim_opt_beats_sita_e_in_simulation(self, train):
+        from repro.core.policies import SITAPolicy
+        from repro.sim.runner import simulate
+
+        c_opt = sim_opt_cutoff(train, n_candidates=30)
+        c_e = equal_load_cutoffs(Empirical(train.service_times), 2)[0]
+        s_opt = simulate(train, SITAPolicy([c_opt]), 2, rng=0).summary(0.05)
+        s_e = simulate(train, SITAPolicy([c_e]), 2, rng=0).summary(0.05)
+        assert s_opt.mean_slowdown <= s_e.mean_slowdown
+
+
+class TestOptimalGroupSplit:
+    def test_keeps_both_groups_stable(self, dist):
+        from repro.core.cutoffs import optimal_group_split
+
+        load = 0.7
+        cut = fair_cutoff(load, dist)
+        f = dist.partial_moment(1.0, 0.0, cut) / dist.mean
+        lam_factor = load  # system load
+        for h in (2, 4, 8, 16):
+            ns = optimal_group_split(load, dist, h, cut)
+            assert 1 <= ns <= h - 1
+            rho_short = load * h * f / ns
+            rho_long = load * h * (1 - f) / (h - ns)
+            assert rho_short < 1.0 and rho_long < 1.0
+
+    def test_beats_proportional_rounding_at_h4(self, dist):
+        """The h=4 hazard: rounding 4*0.35 to one short host saturates it."""
+        from repro.analysis.policies import predict_grouped_sita
+        from repro.core.cutoffs import optimal_group_split
+
+        load = 0.7
+        cut = fair_cutoff(load, dist)
+        ns = optimal_group_split(load, dist, 4, cut)
+        best = predict_grouped_sita(load, dist, 4, cut, ns).mean_slowdown
+        for other in range(1, 4):
+            try:
+                val = predict_grouped_sita(load, dist, 4, cut, other).mean_slowdown
+            except ValueError:
+                continue
+            assert best <= val + 1e-9
+
+    def test_needs_two_hosts(self, dist):
+        from repro.core.cutoffs import optimal_group_split
+
+        with pytest.raises(ValueError):
+            optimal_group_split(0.5, dist, 1, 1000.0)
+
+    def test_impossible_split_raises(self, dist):
+        from repro.core.cutoffs import optimal_group_split
+
+        # Cutoff so low that the long group carries nearly everything but
+        # gets one host at most... extreme load makes all splits unstable.
+        with pytest.raises(ValueError):
+            optimal_group_split(0.99, dist, 2, dist.ppf(0.00001))

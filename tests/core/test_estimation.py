@@ -1,0 +1,162 @@
+"""Tests for the size-estimate error models (section 7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.estimation import HistoryPredictor, misclassify, multiplicative_noise
+
+
+class TestMultiplicativeNoise:
+    def test_exact_when_factor_one(self, rng):
+        sizes = rng.lognormal(2.0, 1.0, 100)
+        est = multiplicative_noise(sizes, 1.0, rng)
+        np.testing.assert_array_equal(est, sizes)
+
+    def test_unbiased_in_log(self, rng):
+        sizes = np.full(200_000, 100.0)
+        est = multiplicative_noise(sizes, 2.0, rng)
+        log_err = np.log(est / sizes)
+        assert np.mean(log_err) == pytest.approx(0.0, abs=0.01)
+        assert np.std(log_err) == pytest.approx(np.log(2.0), rel=0.02)
+
+    def test_positive(self, rng):
+        est = multiplicative_noise(np.ones(1000), 16.0, rng)
+        assert np.all(est > 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multiplicative_noise(np.ones(5), 0.5)
+
+
+class TestMisclassify:
+    def test_zero_flip_preserves_classes(self, rng):
+        sizes = np.array([1.0, 5.0, 20.0, 100.0])
+        est = misclassify(sizes, 10.0, 0.0, rng)
+        np.testing.assert_array_equal(est <= 10.0, sizes <= 10.0)
+
+    def test_flip_rate(self, rng):
+        sizes = rng.lognormal(2.0, 2.0, 100_000)
+        est = misclassify(sizes, 10.0, 0.2, rng)
+        flipped = (est <= 10.0) != (sizes <= 10.0)
+        assert np.mean(flipped) == pytest.approx(0.2, abs=0.01)
+
+    def test_full_flip_inverts(self, rng):
+        sizes = np.array([1.0, 100.0])
+        est = misclassify(sizes, 10.0, 1.0, rng)
+        assert est[0] > 10.0 and est[1] <= 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            misclassify(np.ones(3), 10.0, 1.5)
+        with pytest.raises(ValueError):
+            misclassify(np.ones(3), -1.0, 0.1)
+
+
+class TestHistoryPredictor:
+    def test_first_job_uses_prior(self):
+        p = HistoryPredictor(prior=7.0)
+        est = p.predict(np.array([100.0]), np.array([0]))
+        assert est[0] == 7.0
+
+    def test_class_running_mean(self):
+        p = HistoryPredictor()
+        sizes = np.array([10.0, 20.0, 30.0])
+        classes = np.array([1, 1, 1])
+        est = p.predict(sizes, classes)
+        assert est[1] == pytest.approx(10.0)
+        assert est[2] == pytest.approx(15.0)
+
+    def test_no_leakage(self):
+        """Prediction for job i must not use job i's own runtime."""
+        p = HistoryPredictor()
+        sizes = np.array([10.0, 1000.0])
+        est = p.predict(sizes, np.array([1, 1]))
+        assert est[1] == pytest.approx(10.0)  # not influenced by the 1000
+
+    def test_new_class_falls_back_to_global(self):
+        p = HistoryPredictor()
+        sizes = np.array([10.0, 30.0, 100.0])
+        classes = np.array([1, 1, 2])
+        est = p.predict(sizes, classes)
+        assert est[2] == pytest.approx(20.0)  # global mean of first two
+
+    def test_predictions_help_sita(self, rng):
+        """With per-user size regimes, history predictions classify most
+        jobs onto the correct side of the cutoff."""
+        n = 4000
+        users = rng.integers(0, 20, n)
+        base = np.where(users < 10, 10.0, 1000.0)
+        sizes = base * rng.lognormal(0.0, 0.3, n)
+        est = HistoryPredictor(prior=100.0).predict(sizes, users)
+        correct = (est <= 100.0) == (sizes <= 100.0)
+        assert np.mean(correct) > 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HistoryPredictor(prior=0.0)
+        with pytest.raises(ValueError):
+            HistoryPredictor().predict(np.ones(3), np.ones(2))
+
+
+class TestMisclassifyDirections:
+    def test_short_to_long_only_moves_shorts(self, rng):
+        sizes = np.array([1.0, 5.0, 50.0, 500.0])
+        est = misclassify(sizes, 10.0, 1.0, rng, direction="short-to-long")
+        # every short claimed long; longs untouched
+        assert np.all(est[:2] > 10.0)
+        assert np.all(est[2:] > 10.0)
+
+    def test_long_to_short_only_moves_longs(self, rng):
+        sizes = np.array([1.0, 5.0, 50.0, 500.0])
+        est = misclassify(sizes, 10.0, 1.0, rng, direction="long-to-short")
+        assert np.all(est[:2] <= 10.0)
+        assert np.all(est[2:] <= 10.0)
+
+    def test_unknown_direction(self, rng):
+        with pytest.raises(ValueError):
+            misclassify(np.ones(3), 10.0, 0.1, rng, direction="sideways")
+
+    def test_harm_decomposition(self):
+        """Failure-injection headline, per victim class:
+
+        * short-to-long: harm is confined to the flipped jobs (the paper's
+          §7 claim) — bystander shorts are untouched;
+        * long-to-short: the flipped elephants *benefit* while bystander
+          shorts suffer — the gaming incentive the paper overlooks.
+        """
+        from repro.core.cutoffs import fair_cutoff
+        from repro.core.policies import SITAPolicy
+        from repro.sim.runner import simulate
+        from repro.workloads.catalog import c90
+
+        w = c90()
+        load = 0.7
+        cutoff = fair_cutoff(load, w.service_dist)
+        trace = w.make_trace(load=load, n_hosts=2, n_jobs=60_000, rng=9)
+        truly_short = trace.service_times <= cutoff
+        exact = simulate(trace, SITAPolicy([cutoff]), 2, rng=0)
+        n0 = int(trace.n_jobs * 0.1)
+        exact_short = float(np.mean(exact.slowdowns[n0:][truly_short[n0:]]))
+
+        def run(direction):
+            est = misclassify(
+                trace.service_times, cutoff, 0.1, rng=10, direction=direction
+            )
+            flipped = (est <= cutoff) != truly_short
+            r = simulate(trace, SITAPolicy([cutoff]), 2, rng=0, size_estimates=est)
+            slow, fl = r.slowdowns[n0:], flipped[n0:]
+            bystander = ~fl & truly_short[n0:]
+            return float(np.mean(slow[fl])), float(np.mean(slow[bystander]))
+
+        flipped_sl, bystander_sl = run("short-to-long")
+        flipped_ls, bystander_ls = run("long-to-short")
+        # §7 verified: short→long errors leave bystander shorts unharmed...
+        assert bystander_sl < 3.0 * exact_short
+        # ...while the flipped shorts pay dearly (self-inflicted).
+        assert flipped_sl > 10.0 * exact_short
+        # The reverse direction: flipped elephants do *better* than anyone,
+        assert flipped_ls < exact_short
+        # and innocent shorts pay for it.
+        assert bystander_ls > 2.0 * exact_short

@@ -1,0 +1,114 @@
+"""Tests for fairness metrics and the headline fairness claims."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.cutoffs import fair_cutoff
+from repro.core.fairness import (
+    class_fairness_gap,
+    fairness_gap,
+    slowdown_profile,
+)
+from repro.core.policies import SITAPolicy
+from repro.sim.metrics import SimulationResult
+from repro.sim.runner import simulate
+from repro.workloads.catalog import c90
+
+
+def make_result(sizes, waits):
+    sizes = np.asarray(sizes, dtype=float)
+    return SimulationResult(
+        policy_name="x",
+        n_hosts=1,
+        arrival_times=np.arange(sizes.size, dtype=float),
+        sizes=sizes,
+        wait_times=np.asarray(waits, dtype=float),
+        host_assignments=np.zeros(sizes.size, dtype=int),
+    )
+
+
+class TestSlowdownProfile:
+    def test_buckets_cover_all_jobs(self, rng):
+        sizes = rng.lognormal(2.0, 1.5, 500)
+        result = make_result(sizes, rng.exponential(5.0, 500))
+        p = slowdown_profile(result, n_buckets=8)
+        assert int(np.sum(p.counts)) == 500
+        assert p.edges.size == 9
+
+    def test_uniform_slowdown_profile_flat(self):
+        sizes = np.array([1.0, 10.0, 100.0, 1000.0] * 50)
+        waits = sizes * 2.0  # slowdown exactly 3 for everyone
+        p = slowdown_profile(make_result(sizes, waits), n_buckets=4)
+        populated = p.mean_slowdown[p.counts > 0]
+        np.testing.assert_allclose(populated, 3.0, rtol=1e-9)
+        assert p.gap() == pytest.approx(1.0)
+
+    def test_biased_profile_detected(self):
+        # Short jobs suffer, long jobs fly: gap must be large.
+        sizes = np.array([1.0] * 100 + [1000.0] * 100)
+        waits = np.array([50.0] * 100 + [0.0] * 100)
+        gap = fairness_gap(make_result(sizes, waits), n_buckets=4)
+        assert gap > 10.0
+
+    def test_identical_sizes_rejected(self):
+        result = make_result(np.ones(50), np.zeros(50))
+        with pytest.raises(ValueError):
+            slowdown_profile(result)
+
+    def test_min_bucket_count_filters_noise(self):
+        sizes = np.concatenate([np.full(98, 10.0), [1.0, 1000.0]])
+        waits = np.concatenate([np.zeros(98), [100.0, 0.0]])
+        # The two extreme jobs are singleton buckets -> ignored.
+        with pytest.raises(ValueError):
+            fairness_gap(make_result(sizes, waits), n_buckets=5, min_bucket_count=10)
+
+    def test_needs_at_least_two_buckets(self):
+        result = make_result(np.array([1.0, 2.0]), np.zeros(2))
+        with pytest.raises(ValueError):
+            slowdown_profile(result, n_buckets=1)
+
+
+class TestClassGap:
+    def test_unbiased_is_one(self):
+        sizes = np.array([1.0, 1.0, 100.0, 100.0])
+        waits = np.array([1.0, 1.0, 100.0, 100.0])  # slowdown 2 for all
+        assert class_fairness_gap(make_result(sizes, waits), 10.0) == pytest.approx(1.0)
+
+    def test_direction(self):
+        sizes = np.array([1.0, 100.0])
+        waits = np.array([9.0, 0.0])  # shorts slowed 10x, longs 1x
+        assert class_fairness_gap(make_result(sizes, waits), 10.0) == pytest.approx(10.0)
+
+
+class TestEndToEndFairness:
+    """SITA-U-fair must actually be fair in simulation (paper fig 4)."""
+
+    @pytest.fixture(scope="class")
+    def fair_result(self):
+        w = c90()
+        load = 0.7
+        cutoff = fair_cutoff(load, w.service_dist)
+        trace = w.make_trace(load=load, n_hosts=2, n_jobs=120_000, rng=55)
+        result = simulate(trace, SITAPolicy([cutoff], name="sita-u-fair"), 2, rng=0)
+        return result, cutoff
+
+    def test_class_gap_near_one(self, fair_result):
+        result, cutoff = fair_result
+        gap = class_fairness_gap(result, cutoff, warmup_fraction=0.1)
+        assert 0.4 < gap < 2.5  # heavy-tail sampling noise allowed
+
+    def test_fairer_than_sita_e(self, fair_result):
+        from repro.core.cutoffs import equal_load_cutoffs
+
+        result, cutoff = fair_result
+        w = c90()
+        ce = equal_load_cutoffs(w.service_dist, 2)[0]
+        trace = w.make_trace(load=0.7, n_hosts=2, n_jobs=120_000, rng=55)
+        res_e = simulate(trace, SITAPolicy([ce], name="sita-e"), 2, rng=0)
+        gap_fair = class_fairness_gap(result, cutoff, warmup_fraction=0.1)
+        gap_e = class_fairness_gap(res_e, ce, warmup_fraction=0.1)
+        assert abs(math.log(gap_fair)) < abs(math.log(gap_e))

@@ -1,0 +1,161 @@
+"""Tests for the second-wave policies: SJF central queue, estimated LWL."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.estimation import multiplicative_noise
+from repro.core.policies import (
+    CentralQueuePolicy,
+    EstimatedLWLPolicy,
+    LeastWorkLeftPolicy,
+)
+from repro.sim.fast import estimated_lwl_waits, lwl_waits
+from repro.sim.runner import simulate
+from repro.workloads.catalog import c90
+from repro.workloads.traces import Trace
+
+
+class TestSJFCentralQueue:
+    def test_discipline_validation(self):
+        with pytest.raises(ValueError):
+            CentralQueuePolicy("lifo")
+
+    def test_names(self):
+        assert CentralQueuePolicy().name == "central-queue"
+        assert CentralQueuePolicy("sjf").name == "central-sjf"
+
+    def test_sjf_reorders_queue(self):
+        # Host busy until t=10 with job0; two queued jobs: long then short.
+        # FCFS serves them in arrival order; SJF serves the short first.
+        trace = Trace([0.0, 1.0, 2.0], [10.0, 8.0, 1.0])
+        fcfs = simulate(trace, CentralQueuePolicy("fcfs"), 1, rng=0)
+        sjf = simulate(trace, CentralQueuePolicy("sjf"), 1, rng=0)
+        # FCFS: job1 starts at 10, job2 at 18.
+        assert fcfs.wait_times[2] == pytest.approx(16.0)
+        # SJF: job2 (size 1) jumps ahead: starts at 10, job1 at 11.
+        assert sjf.wait_times[2] == pytest.approx(8.0)
+        assert sjf.wait_times[1] == pytest.approx(10.0)
+
+    def test_sjf_uses_estimates(self):
+        trace = Trace([0.0, 1.0, 2.0], [10.0, 8.0, 1.0])
+        # Lie: claim the size-8 job is tiny and the size-1 job huge.
+        est = np.array([10.0, 0.5, 100.0])
+        sjf = simulate(
+            trace, CentralQueuePolicy("sjf"), 1, rng=0, size_estimates=est
+        )
+        assert sjf.wait_times[1] == pytest.approx(9.0)  # served first
+        assert sjf.wait_times[2] == pytest.approx(16.0)
+
+    def test_sjf_improves_mean_slowdown(self, small_c90_trace):
+        fcfs = simulate(small_c90_trace, CentralQueuePolicy("fcfs"), 2, rng=0)
+        sjf = simulate(small_c90_trace, CentralQueuePolicy("sjf"), 2, rng=0)
+        assert (
+            sjf.summary(0.1).mean_slowdown < fcfs.summary(0.1).mean_slowdown
+        )
+
+    def test_sjf_requires_event_backend(self, tiny_trace):
+        with pytest.raises(ValueError):
+            simulate(tiny_trace, CentralQueuePolicy("sjf"), 2, rng=0, backend="fast")
+
+    def test_fcfs_still_uses_fast_path(self, tiny_trace):
+        fast = simulate(tiny_trace, CentralQueuePolicy("fcfs"), 2, rng=0, backend="fast")
+        event = simulate(tiny_trace, CentralQueuePolicy("fcfs"), 2, rng=0, backend="event")
+        np.testing.assert_allclose(fast.wait_times, event.wait_times, atol=1e-9)
+
+
+class TestEstimatedLWL:
+    def test_exact_estimates_equal_lwl(self, small_c90_trace):
+        est = simulate(small_c90_trace, EstimatedLWLPolicy(), 2, rng=0)
+        true = simulate(small_c90_trace, LeastWorkLeftPolicy(), 2, rng=0)
+        assert est.summary().mean_slowdown == pytest.approx(
+            true.summary().mean_slowdown, rel=1e-9
+        )
+
+    def test_fast_vs_event(self, small_c90_trace, rng):
+        noisy = multiplicative_noise(small_c90_trace.service_times, 4.0, rng)
+        fast = simulate(
+            small_c90_trace, EstimatedLWLPolicy(), 3, rng=0,
+            size_estimates=noisy, backend="fast",
+        )
+        event = simulate(
+            small_c90_trace, EstimatedLWLPolicy(), 3, rng=0,
+            size_estimates=noisy, backend="event",
+        )
+        np.testing.assert_allclose(fast.wait_times, event.wait_times, atol=1e-6)
+        np.testing.assert_array_equal(fast.host_assignments, event.host_assignments)
+
+    def test_noise_hurts(self, small_c90_trace, rng):
+        exact = simulate(small_c90_trace, EstimatedLWLPolicy(), 2, rng=0)
+        noisy_est = multiplicative_noise(small_c90_trace.service_times, 16.0, rng)
+        noisy = simulate(
+            small_c90_trace, EstimatedLWLPolicy(), 2, rng=0, size_estimates=noisy_est
+        )
+        assert noisy.summary(0.1).mean_slowdown > exact.summary(0.1).mean_slowdown
+
+    def test_kernel_matches_lwl_with_exact_estimates(self, rng):
+        t = np.cumsum(rng.exponential(5.0, 400))
+        s = rng.lognormal(1.0, 1.5, 400)
+        w_est, _ = estimated_lwl_waits(t, s, s, 3)
+        w_lwl, _ = lwl_waits(t, s, 3)
+        np.testing.assert_allclose(np.sort(w_est), np.sort(w_lwl), atol=1e-9)
+
+    def test_kernel_validation(self):
+        with pytest.raises(ValueError):
+            estimated_lwl_waits(np.ones(3), np.ones(3), np.ones(2), 2)
+        with pytest.raises(ValueError):
+            estimated_lwl_waits(np.ones(3), np.ones(3), np.ones(3), 0)
+
+    def test_believed_work_left_view(self):
+        p = EstimatedLWLPolicy()
+        p.reset(2, np.random.default_rng(0))
+        assert list(p.believed_work_left(0.0)) == [0.0, 0.0]
+
+
+class TestSummaryPercentiles:
+    def test_percentiles_ordered(self, small_c90_trace):
+        s = simulate(small_c90_trace, LeastWorkLeftPolicy(), 2, rng=0).summary(0.1)
+        assert 1.0 <= s.mean_slowdown
+        assert s.p95_slowdown <= s.p99_slowdown <= s.max_slowdown
+
+    def test_constant_slowdown(self):
+        from repro.sim.metrics import SimulationResult
+
+        r = SimulationResult(
+            policy_name="x",
+            n_hosts=1,
+            arrival_times=np.arange(10, dtype=float),
+            sizes=np.ones(10),
+            wait_times=np.ones(10),
+            host_assignments=np.zeros(10, dtype=int),
+        )
+        s = r.summary()
+        assert s.p95_slowdown == pytest.approx(2.0)
+        assert s.p99_slowdown == pytest.approx(2.0)
+
+
+class TestPSBaseline:
+    def test_value(self):
+        from repro.analysis.mg1 import mg1_ps_mean_slowdown
+        from repro.workloads.distributions import Lognormal
+
+        d = Lognormal.fit(100.0, 10.0)
+        lam = 0.75 / d.mean
+        assert mg1_ps_mean_slowdown(lam, d) == pytest.approx(4.0)
+
+    def test_distribution_free(self):
+        from repro.analysis.mg1 import mg1_ps_mean_slowdown
+        from repro.workloads.distributions import Exponential, Lognormal
+
+        lam_logn = 0.5 / 100.0
+        a = mg1_ps_mean_slowdown(lam_logn, Lognormal.fit(100.0, 40.0))
+        b = mg1_ps_mean_slowdown(0.5 / 7.0, Exponential(7.0))
+        assert a == pytest.approx(b)
+
+    def test_unstable(self):
+        from repro.analysis.mg1 import mg1_ps_mean_slowdown
+        from repro.workloads.distributions import Exponential
+
+        with pytest.raises(ValueError):
+            mg1_ps_mean_slowdown(1.0, Exponential(2.0))

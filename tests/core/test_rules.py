@@ -1,0 +1,73 @@
+"""Tests for the rho/2 rule of thumb."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.sita_analysis import analyze_sita
+from repro.core.cutoffs import opt_cutoff, short_host_load_fraction
+from repro.core.rules import (
+    rule_of_thumb_cutoff,
+    rule_of_thumb_fit,
+    rule_of_thumb_fraction,
+)
+from repro.workloads.catalog import c90
+
+
+@pytest.fixture(scope="module")
+def dist():
+    return c90().service_dist
+
+
+class TestFraction:
+    def test_value(self):
+        assert rule_of_thumb_fraction(0.5) == 0.25
+        assert rule_of_thumb_fraction(0.8) == 0.4
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -1.0])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            rule_of_thumb_fraction(bad)
+
+
+class TestCutoff:
+    @pytest.mark.parametrize("load", [0.2, 0.5, 0.8])
+    def test_realises_target_fraction(self, dist, load):
+        c = rule_of_thumb_cutoff(load, dist)
+        assert short_host_load_fraction(dist, c) == pytest.approx(load / 2, abs=1e-9)
+
+    @pytest.mark.parametrize("load", [0.2, 0.5, 0.8, 0.95])
+    def test_always_feasible(self, dist, load):
+        """rho/2 to host 1 keeps both hosts stable for any rho < 1."""
+        c = rule_of_thumb_cutoff(load, dist)
+        lam = 2 * load / dist.mean
+        a = analyze_sita(lam, dist, [c])
+        assert a.feasible
+        assert a.hosts[0].utilisation == pytest.approx(load**2, rel=1e-6)
+        assert a.hosts[1].utilisation == pytest.approx(load * (2 - load), rel=1e-6)
+
+    def test_close_to_optimal_at_high_load(self, dist):
+        """Paper: rule-of-thumb results were within ~10 % of optimal; on
+        our synthetic C90 the agreement is best at the loads that matter
+        (>= 0.7)."""
+        load = 0.8
+        lam = 2 * load / dist.mean
+        s_rule = analyze_sita(lam, dist, [rule_of_thumb_cutoff(load, dist)]).mean_slowdown
+        s_opt = analyze_sita(lam, dist, [opt_cutoff(load, dist)]).mean_slowdown
+        assert s_rule <= 1.5 * s_opt
+
+
+class TestFit:
+    def test_perfect_fit(self):
+        loads = np.array([0.2, 0.4, 0.8])
+        assert rule_of_thumb_fit(loads, loads / 2) == pytest.approx(0.0, abs=1e-12)
+
+    def test_rms_value(self):
+        assert rule_of_thumb_fit([0.4], [0.3]) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rule_of_thumb_fit([0.5, 0.6], [0.25])
+        with pytest.raises(ValueError):
+            rule_of_thumb_fit([], [])

@@ -1,0 +1,104 @@
+"""Tests for the experiment infrastructure (config, results, registry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.base import (
+    ExperimentConfig,
+    ExperimentResult,
+    experiment,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = ExperimentConfig()
+        assert cfg.scale == 1.0
+        assert 0.8 in cfg.loads
+
+    def test_jobs_scaling_with_floor(self):
+        cfg = ExperimentConfig(scale=0.5)
+        assert cfg.jobs(10_000) == 5_000
+        assert cfg.jobs(100) == 2_000  # floor
+
+    def test_sweep_loads_respects_max(self):
+        cfg = ExperimentConfig(loads=(0.5, 0.9, 0.99), max_load=0.9)
+        assert cfg.sweep_loads() == (0.5, 0.9)
+
+    def test_with_(self):
+        cfg = ExperimentConfig().with_(seed=1)
+        assert cfg.seed == 1
+        assert ExperimentConfig().seed != 1 or True  # original untouched
+
+
+class TestResult:
+    @pytest.fixture
+    def result(self):
+        return ExperimentResult(
+            experiment_id="demo",
+            title="Demo",
+            columns=["policy", "load", "mean_slowdown"],
+            rows=[
+                {"policy": "a", "load": 0.5, "mean_slowdown": 12.345678},
+                {"policy": "b", "load": 0.5, "mean_slowdown": 1.0},
+            ],
+            notes="hello",
+        )
+
+    def test_to_text_contains_all(self, result):
+        text = result.to_text()
+        assert "demo" in text and "policy" in text
+        assert "12.35" in text  # 4 sig figs
+        assert "note: hello" in text
+
+    def test_to_csv(self, result, tmp_path):
+        path = tmp_path / "r.csv"
+        result.to_csv(path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "policy,load,mean_slowdown"
+        assert len(lines) == 3
+
+    def test_column_filter(self, result):
+        assert result.column("policy") == ["a", "b"]
+        assert result.column("mean_slowdown", lambda r: r["policy"] == "b") == [1.0]
+
+    def test_missing_column_renders_empty(self, result):
+        result.columns.append("bonus")
+        assert "bonus" in result.to_text()
+
+
+class TestRegistry:
+    def test_all_paper_artefacts_registered(self):
+        ids = {eid for eid, _ in list_experiments()}
+        expected = {"table1"} | {f"fig{i}" for i in range(2, 14)}
+        assert expected <= ids
+
+    def test_ablations_registered(self):
+        ids = {eid for eid, _ in list_experiments()}
+        assert {
+            "ablate_rr_sq",
+            "ablate_tags",
+            "ablate_estimates",
+            "ablate_variability",
+            "ablate_fast_vs_event",
+        } <= ids
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            get_experiment("fig99")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            @experiment("table1", "dup")
+            def _dup(config):  # pragma: no cover
+                raise AssertionError
+
+    def test_run_experiment_dispatches(self):
+        cfg = ExperimentConfig(scale=0.05, loads=(0.5,))
+        result = run_experiment("fig8", cfg)
+        assert result.experiment_id == "fig8"
+        assert result.rows

@@ -1,0 +1,123 @@
+"""Tests for the shared experiment machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.base import ExperimentConfig
+from repro.experiments.common import (
+    aggregate_replications,
+    fit_sita_cutoffs,
+    grouped_sita,
+    make_split_trace,
+    point_seed,
+)
+from repro.workloads.catalog import c90
+from repro.workloads.distributions import Empirical
+
+
+class TestPointSeed:
+    def test_deterministic(self):
+        cfg = ExperimentConfig()
+        assert point_seed(cfg, "fig2", 0.5) == point_seed(cfg, "fig2", 0.5)
+
+    def test_distinct_coordinates(self):
+        cfg = ExperimentConfig()
+        seeds = {
+            point_seed(cfg, "fig2", load, h)
+            for load in (0.1, 0.5, 0.9)
+            for h in (2, 4)
+        }
+        assert len(seeds) == 6
+
+    def test_depends_on_base_seed(self):
+        a = point_seed(ExperimentConfig(seed=1), "x")
+        b = point_seed(ExperimentConfig(seed=2), "x")
+        assert a != b
+
+
+class TestMakeSplitTrace:
+    def test_halves(self):
+        train, test = make_split_trace(c90(), 0.5, 2, 4000, seed=1)
+        assert train.n_jobs == 2000 and test.n_jobs == 2000
+
+    def test_reproducible(self):
+        t1, _ = make_split_trace(c90(), 0.5, 2, 1000, seed=9)
+        t2, _ = make_split_trace(c90(), 0.5, 2, 1000, seed=9)
+        np.testing.assert_array_equal(t1.service_times, t2.service_times)
+
+
+class TestFitSitaCutoffs:
+    @pytest.fixture(scope="class")
+    def train(self):
+        return c90().make_trace(load=0.7, n_hosts=2, n_jobs=20_000, rng=4)
+
+    def test_all_variants(self, train):
+        cuts = fit_sita_cutoffs(train, 0.7)
+        assert set(cuts) == {"e", "opt", "fair"}
+        assert all(c > 0 for c in cuts.values())
+        # opt underloads relative to equal-load: smaller cutoff.
+        assert cuts["opt"] < cuts["e"]
+
+    def test_unknown_variant(self, train):
+        with pytest.raises(ValueError):
+            fit_sita_cutoffs(train, 0.7, variants=("magic",))
+
+
+class TestGroupedSitaHelper:
+    def test_with_load_optimises_split(self):
+        d = c90().service_dist
+        from repro.core.cutoffs import fair_cutoff, optimal_group_split
+
+        cut = fair_cutoff(0.7, d)
+        p = grouped_sita(cut, 4, d, "g", load=0.7)
+        assert p.n_short_hosts == optimal_group_split(0.7, d, 4, cut)
+
+    def test_without_load_uses_proportional(self):
+        d = c90().service_dist
+        cut = d.ppf(0.99)
+        p = grouped_sita(cut, 10, d, "g")
+        f = d.partial_moment(1.0, 0.0, cut) / d.mean
+        assert p.n_short_hosts == int(np.clip(round(10 * f), 1, 9))
+
+
+class TestAggregateReplications:
+    def test_single_row_passthrough(self):
+        row = {"policy": "x", "load": 0.5, "mean_slowdown": 10.0}
+        out = aggregate_replications([row])
+        assert out["mean_slowdown"] == 10.0
+        assert out["n_reps"] == 1
+
+    def test_averaging_and_ci(self):
+        rows = [
+            {"policy": "x", "load": 0.5, "mean_slowdown": 10.0},
+            {"policy": "x", "load": 0.5, "mean_slowdown": 20.0},
+            {"policy": "x", "load": 0.5, "mean_slowdown": 30.0},
+        ]
+        out = aggregate_replications(rows)
+        assert out["mean_slowdown"] == pytest.approx(20.0)
+        assert out["load"] == 0.5  # exact, not float-averaged
+        assert out["n_reps"] == 3
+        assert out["ci_mean_slowdown"] > 0
+
+    def test_disagreeing_labels_rejected(self):
+        rows = [
+            {"policy": "x", "mean_slowdown": 1.0},
+            {"policy": "y", "mean_slowdown": 2.0},
+        ]
+        with pytest.raises(ValueError, match="disagree"):
+            aggregate_replications(rows)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_replications([])
+
+    def test_replications_through_driver(self):
+        from repro.experiments import run_experiment
+
+        cfg = ExperimentConfig(scale=0.05, loads=(0.5,), replications=2)
+        res = run_experiment("fig2", cfg)
+        for row in res.rows:
+            assert row["n_reps"] == 2
+            assert "ci_mean_slowdown" in row

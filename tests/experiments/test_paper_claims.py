@@ -1,0 +1,256 @@
+"""Integration tests for the paper's qualitative claims (DESIGN.md §3).
+
+Each test reproduces one comparative statement from the paper on the
+synthetic C90 workload at moderate scale.  Tolerances are loose — the
+claims are about orderings and rough factors, not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.policies import (
+    predict_lwl,
+    predict_random,
+    predict_sita,
+)
+from repro.core.cutoffs import (
+    equal_load_cutoffs,
+    fair_cutoff,
+    opt_cutoff,
+    short_host_load_fraction,
+)
+from repro.core.policies import (
+    GroupedSITAPolicy,
+    LeastWorkLeftPolicy,
+    RandomPolicy,
+    SITAPolicy,
+)
+from repro.sim.runner import simulate
+from repro.workloads.arrivals import RenewalArrivals
+from repro.workloads.catalog import c90, ctc, j90
+
+N_JOBS = 150_000
+WARMUP = 0.1
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return c90()
+
+
+@pytest.fixture(scope="module")
+def dist(workload):
+    return workload.service_dist
+
+
+def run_policy(workload, policy, load, n_hosts, seed=101, n_jobs=N_JOBS, arrivals=None):
+    trace = workload.make_trace(
+        load=load, n_hosts=n_hosts, n_jobs=n_jobs, rng=seed, arrivals=arrivals
+    )
+    return simulate(trace, policy, n_hosts, rng=7).summary(warmup_fraction=WARMUP)
+
+
+class TestFig2Claims:
+    """Random ≫ LWL ≳/≲ SITA-E on 2 hosts."""
+
+    @pytest.fixture(scope="class")
+    def at_07(self, workload, dist):
+        ce = equal_load_cutoffs(dist, 2)
+        return {
+            "random": run_policy(workload, RandomPolicy(), 0.7, 2),
+            "lwl": run_policy(workload, LeastWorkLeftPolicy(), 0.7, 2),
+            "sita-e": run_policy(workload, SITAPolicy(ce, name="sita-e"), 0.7, 2),
+        }
+
+    def test_random_much_worse_than_lwl(self, at_07):
+        assert at_07["random"].mean_slowdown > 2.0 * at_07["lwl"].mean_slowdown
+
+    def test_sita_e_beats_lwl_at_high_load(self, at_07):
+        assert at_07["sita-e"].mean_slowdown < at_07["lwl"].mean_slowdown
+
+    def test_random_to_sita_gap(self, at_07):
+        """Paper: Random exceeds SITA-E by ~10x in mean slowdown."""
+        assert at_07["random"].mean_slowdown > 4.0 * at_07["sita-e"].mean_slowdown
+
+    def test_variance_ordering(self, at_07):
+        assert at_07["sita-e"].var_slowdown < at_07["random"].var_slowdown
+
+    def test_mean_response_ordering(self, at_07):
+        """For loads > 0.5 SITA-E also wins on mean response time."""
+        assert at_07["sita-e"].mean_response < at_07["random"].mean_response
+
+
+class TestFig3Claims:
+    """4 hosts: LWL and SITA-E improve, Random doesn't; LWL wins at low load."""
+
+    def test_lwl_improves_with_hosts(self, workload):
+        s2 = run_policy(workload, LeastWorkLeftPolicy(), 0.7, 2)
+        s4 = run_policy(workload, LeastWorkLeftPolicy(), 0.7, 4)
+        assert s4.mean_slowdown < s2.mean_slowdown
+
+    def test_random_unchanged_by_hosts(self, workload):
+        s2 = run_policy(workload, RandomPolicy(), 0.7, 2)
+        s4 = run_policy(workload, RandomPolicy(), 0.7, 4)
+        assert s4.mean_slowdown == pytest.approx(s2.mean_slowdown, rel=0.5)
+
+    def test_lwl_beats_sita_e_at_low_load_4_hosts(self, workload, dist):
+        ce = equal_load_cutoffs(dist, 4)
+        lwl = run_policy(workload, LeastWorkLeftPolicy(), 0.2, 4)
+        sita = run_policy(workload, SITAPolicy(ce, name="sita-e"), 0.2, 4)
+        assert lwl.mean_slowdown < sita.mean_slowdown
+
+
+class TestFig4Claims:
+    """SITA-U-opt/fair ≫ SITA-E; fair ≈ opt."""
+
+    @pytest.fixture(scope="class")
+    def at_07(self, workload, dist):
+        load = 0.7
+        ce = equal_load_cutoffs(dist, 2)[0]
+        co = opt_cutoff(load, dist)
+        cf = fair_cutoff(load, dist)
+        return {
+            "sita-e": run_policy(workload, SITAPolicy([ce], name="sita-e"), load, 2),
+            "opt": run_policy(workload, SITAPolicy([co], name="sita-u-opt"), load, 2),
+            "fair": run_policy(workload, SITAPolicy([cf], name="sita-u-fair"), load, 2),
+        }
+
+    def test_unbalancing_beats_sita_e(self, at_07):
+        """Paper: 4-10x improvement in mean slowdown over loads 0.5-0.8."""
+        assert at_07["opt"].mean_slowdown < at_07["sita-e"].mean_slowdown / 2.0
+        assert at_07["fair"].mean_slowdown < at_07["sita-e"].mean_slowdown / 1.5
+
+    def test_fair_only_slightly_worse_than_opt(self, at_07):
+        assert at_07["fair"].mean_slowdown < 3.0 * at_07["opt"].mean_slowdown
+
+    def test_variance_improvement(self, at_07):
+        """Paper: 10-100x variance reduction."""
+        assert at_07["opt"].var_slowdown < at_07["sita-e"].var_slowdown / 3.0
+
+
+class TestFig5Claims:
+    """Load fraction to Host 1 underloads and tracks rho/2."""
+
+    @pytest.mark.parametrize("load", [0.5, 0.7, 0.9])
+    def test_underloaded_and_near_rule(self, dist, load):
+        for cut in (opt_cutoff(load, dist), fair_cutoff(load, dist)):
+            frac = short_host_load_fraction(dist, cut)
+            assert frac < 0.5
+            assert abs(frac - load / 2) < 0.2
+
+
+class TestFig6Claims:
+    """Many hosts at load 0.7: grouped SITA vs LWL crossover."""
+
+    @staticmethod
+    def grouped(cutoff, h, dist, name):
+        f = dist.partial_moment(1.0, 0.0, cutoff) / dist.mean
+        n_short = int(np.clip(round(h * f), 1, h - 1))
+        return GroupedSITAPolicy(cutoff, n_short, name=name)
+
+    def test_sita_e_beats_lwl_small_h_loses_large_h(self, workload, dist):
+        ce = equal_load_cutoffs(dist, 2)[0]
+        small_lwl = run_policy(workload, LeastWorkLeftPolicy(), 0.7, 2)
+        small_sita = run_policy(workload, SITAPolicy([ce], name="e"), 0.7, 2)
+        assert small_sita.mean_slowdown < small_lwl.mean_slowdown
+
+        h = 64
+        big_lwl = run_policy(workload, LeastWorkLeftPolicy(), 0.7, h, n_jobs=400_000)
+        big_sita = run_policy(
+            workload, self.grouped(ce, h, dist, "e+lwl"), 0.7, h, n_jobs=400_000
+        )
+        assert big_lwl.mean_slowdown < big_sita.mean_slowdown
+
+    def test_policies_converge_at_many_hosts(self, workload, dist):
+        """Paper: beyond ~70 hosts all policies are comparable."""
+        h = 80
+        cf = fair_cutoff(0.7, dist)
+        lwl = run_policy(workload, LeastWorkLeftPolicy(), 0.7, h, n_jobs=400_000)
+        fair = run_policy(
+            workload, self.grouped(cf, h, dist, "fair+lwl"), 0.7, h, n_jobs=400_000
+        )
+        assert fair.mean_slowdown < 10 * lwl.mean_slowdown
+        assert lwl.mean_slowdown < 10 * fair.mean_slowdown
+
+
+class TestFig7Claims:
+    """Bursty arrivals: SITA-U wins at 0.7, LWL wins at 0.98."""
+
+    @pytest.fixture(scope="class")
+    def bursty(self):
+        return RenewalArrivals.bursty(rate=1.0, scv=20.0)
+
+    def test_sita_u_wins_moderate_load(self, workload, dist, bursty):
+        cf = fair_cutoff(0.7, dist)
+        lwl = run_policy(workload, LeastWorkLeftPolicy(), 0.7, 2, arrivals=bursty)
+        fair = run_policy(
+            workload, SITAPolicy([cf], name="fair"), 0.7, 2, arrivals=bursty
+        )
+        assert fair.mean_slowdown < lwl.mean_slowdown
+
+    def test_lwl_closes_gap_at_extreme_load(self, workload, dist, bursty):
+        """The paper's §6 mechanism: arrival variability favours LWL as
+        ρ → 1 (LWL is the only policy that smooths it), so SITA-U's
+        advantage must shrink.  The paper observes an outright crossover
+        above ρ = 0.95 on its (proprietary) scaled trace; on the synthetic
+        workload we reproduce the monotone trend — the crossover point
+        itself depends on the log's burst structure (see EXPERIMENTS.md)."""
+
+        def ratio(load, n_jobs):
+            cf = fair_cutoff(load, dist)
+            lwl = run_policy(
+                workload, LeastWorkLeftPolicy(), load, 2,
+                arrivals=bursty, n_jobs=n_jobs,
+            )
+            fair = run_policy(
+                workload, SITAPolicy([cf], name="fair"), load, 2,
+                arrivals=bursty, n_jobs=n_jobs,
+            )
+            return fair.mean_slowdown / lwl.mean_slowdown
+
+        assert ratio(0.98, 300_000) > 1.5 * ratio(0.7, 300_000)
+
+
+class TestFig8Fig9Claims:
+    """Analysis agrees with simulation (paper: 'very close agreement')."""
+
+    def test_sita_e_sim_vs_analysis(self, workload, dist):
+        ce = equal_load_cutoffs(dist, 2)
+        sim = run_policy(workload, SITAPolicy(ce, name="sita-e"), 0.5, 2)
+        ana = predict_sita(0.5, dist, 2, ce, "sita-e")
+        assert sim.mean_slowdown == pytest.approx(ana.mean_slowdown, rel=0.5)
+
+    def test_random_sim_vs_analysis(self, workload, dist):
+        sim = run_policy(workload, RandomPolicy(), 0.5, 2)
+        ana = predict_random(0.5, dist, 2)
+        assert sim.mean_slowdown == pytest.approx(ana.mean_slowdown, rel=0.5)
+
+    def test_lwl_sim_vs_analysis(self, workload, dist):
+        sim = run_policy(workload, LeastWorkLeftPolicy(), 0.5, 2)
+        ana = predict_lwl(0.5, dist, 2)
+        assert sim.mean_slowdown == pytest.approx(ana.mean_slowdown, rel=0.6)
+
+
+class TestAppendixClaims:
+    """The conclusions replicate on J90-like and CTC-like workloads."""
+
+    @pytest.mark.parametrize("factory", [j90, ctc], ids=["j90", "ctc"])
+    def test_unbalancing_wins_everywhere(self, factory):
+        w = factory()
+        d = w.service_dist
+        load = 0.7
+        ce = equal_load_cutoffs(d, 2)[0]
+        co = opt_cutoff(load, d)
+        n = min(w.n_jobs * 8, 100_000)
+        sita_e = run_policy(w, SITAPolicy([ce], name="sita-e"), load, 2, n_jobs=n)
+        opt = run_policy(w, SITAPolicy([co], name="sita-u-opt"), load, 2, n_jobs=n)
+        assert opt.mean_slowdown < sita_e.mean_slowdown
+
+    @pytest.mark.parametrize("factory", [j90, ctc], ids=["j90", "ctc"])
+    def test_underloading_rule_holds(self, factory):
+        d = factory().service_dist
+        for load in (0.5, 0.8):
+            frac = short_host_load_fraction(d, opt_cutoff(load, d))
+            assert frac < 0.5

@@ -1,0 +1,117 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments.plotting import ascii_chart, result_chart
+
+
+@pytest.fixture
+def simple_series():
+    return OrderedDict(
+        a=[(0.0, 1.0), (1.0, 10.0), (2.0, 100.0)],
+        b=[(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)],
+    )
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self, simple_series):
+        out = ascii_chart(simple_series, title="T", x_label="load", y_label="S")
+        assert "T" in out
+        assert "legend: o a   x b" in out
+        assert "(load)" in out
+        assert "log scale" in out
+
+    def test_extreme_ticks(self, simple_series):
+        out = ascii_chart(simple_series)
+        assert "100" in out  # max y tick
+        assert "1" in out  # min y tick
+
+    def test_linear_scale(self, simple_series):
+        out = ascii_chart(simple_series, log_y=False)
+        assert "log scale" not in out
+
+    def test_drops_nonpositive_on_log(self):
+        series = OrderedDict(a=[(0.0, 0.0), (1.0, 10.0), (2.0, 20.0)])
+        out = ascii_chart(series, log_y=True)
+        assert "not drawn" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart(OrderedDict())
+        with pytest.raises(ValueError):
+            ascii_chart(OrderedDict(a=[]))
+
+    def test_all_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart(OrderedDict(a=[(0.0, -1.0)]), log_y=True)
+
+    def test_size_validation(self, simple_series):
+        with pytest.raises(ValueError):
+            ascii_chart(simple_series, width=5)
+
+    def test_marker_positions_monotone(self):
+        # A strictly increasing series must render with increasing height.
+        series = OrderedDict(a=[(float(i), 10.0**i) for i in range(5)])
+        out = ascii_chart(series, width=40, height=10)
+        rows = [l for l in out.splitlines() if "|" in l and "+" not in l]
+        cols = {}
+        for r, line in enumerate(rows):
+            body = line.split("|", 1)[1]
+            for c, ch in enumerate(body):
+                if ch == "o":
+                    cols[c] = r
+        ordered = [cols[c] for c in sorted(cols)]
+        assert ordered == sorted(ordered, reverse=True)
+
+
+class TestResultChart:
+    def test_fig8_chart(self):
+        res = run_experiment("fig8", ExperimentConfig(scale=0.05, loads=(0.3, 0.7)))
+        out = result_chart(res)
+        assert "sita-e" in out
+        assert "(load)" in out
+
+    def test_fig5_uses_linear_fraction_axis(self):
+        res = run_experiment("fig5", ExperimentConfig(scale=0.05, loads=(0.3, 0.7)))
+        out = result_chart(res)
+        assert "log scale" not in out
+        assert "sita-u-opt" in out
+
+    def test_table1_has_no_convention(self):
+        res = run_experiment("table1", ExperimentConfig(scale=0.05))
+        with pytest.raises(ValueError, match="no chart convention"):
+            result_chart(res)
+
+
+class TestCliPlotFlag:
+    def test_plot_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "fig8", "--scale", "0.05", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out
+
+
+class TestLogX:
+    def test_log_x_axis(self):
+        series = OrderedDict(a=[(1.0, 1.0), (100.0, 2.0), (10000.0, 3.0)])
+        out = ascii_chart(series, log_x=True, log_y=False)
+        assert "log scale)" in out
+        # On a log axis the three decade-spaced points are evenly spread.
+        rows = [l for l in out.splitlines() if "|" in l]
+        cols = sorted(
+            c for l in rows for c, ch in enumerate(l.split("|", 1)[1]) if ch == "o"
+        )
+        assert len(cols) == 3
+        gap1, gap2 = cols[1] - cols[0], cols[2] - cols[1]
+        assert abs(gap1 - gap2) <= 2
+
+    def test_log_x_drops_nonpositive(self):
+        series = OrderedDict(a=[(0.0, 1.0), (10.0, 2.0), (100.0, 5.0)])
+        out = ascii_chart(series, log_x=True)
+        assert "not drawn" in out

@@ -1,0 +1,151 @@
+"""Tests for the discrete-event engine and event primitives."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, order.append, "c")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(2.0, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_ties_run_fifo(self):
+        sim = Simulator()
+        order = []
+        for tag in ("first", "second", "third"):
+            sim.schedule(5.0, order.append, tag)
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_schedule_after(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.0, lambda: sim.schedule_after(3.0, lambda: seen.append(sim.now)))
+        sim.run()
+        # The inner event fires at 2 + 3 = 5; callback reads the clock then.
+        assert seen == [5.0]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule(0.5, lambda: None)
+
+    def test_rejects_nonfinite_time(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(math.inf, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule(math.nan, lambda: None)
+
+    def test_rejects_negative_delay(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_after(-1.0, lambda: None)
+
+    def test_callbacks_can_schedule_more(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n: int) -> None:
+            fired.append(sim.now)
+            if n > 0:
+                sim.schedule_after(1.0, chain, n - 1)
+
+        sim.schedule(0.0, chain, 4)
+        sim.run()
+        assert fired == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_mid_run(self):
+        sim = Simulator()
+        fired = []
+        later = sim.schedule(2.0, fired.append, "late")
+        sim.schedule(1.0, later.cancel)
+        sim.run()
+        assert fired == []
+
+    def test_handle_time(self):
+        sim = Simulator()
+        h = sim.schedule(7.5, lambda: None)
+        assert h.time == 7.5
+
+
+class TestRunControl:
+    def test_run_until(self):
+        sim = Simulator()
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, fired.append, t)
+        sim.run(until=2.5)
+        assert fired == [1.0, 2.0]
+        assert sim.now == 2.5
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_run_until_with_empty_calendar_advances_clock(self):
+        sim = Simulator()
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for t in range(5):
+            sim.schedule(float(t), fired.append, t)
+        sim.run(max_events=2)
+        assert fired == [0, 1]
+
+    def test_step(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        assert sim.step() is True
+        assert sim.step() is False
+        assert fired == [1]
+
+    def test_counters(self):
+        sim = Simulator()
+        for t in range(3):
+            sim.schedule(float(t), lambda: None)
+        assert sim.pending == 3
+        sim.run()
+        assert sim.events_processed == 3
+        assert sim.pending == 0
+
+
+@given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_events_always_fire_in_nondecreasing_time(times):
+    sim = Simulator()
+    seen = []
+    for t in times:
+        sim.schedule(t, lambda t=t: seen.append(sim.now))
+    sim.run()
+    assert len(seen) == len(times)
+    assert all(b >= a for a, b in zip(seen, seen[1:]))
+    assert sorted(times)[-1] == sim.now

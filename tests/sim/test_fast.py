@@ -1,0 +1,153 @@
+"""Unit tests for the vectorised simulation kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.fast import fcfs_waits, lwl_waits, shortest_queue_waits
+
+
+def brute_force_fcfs(arrivals, sizes):
+    """Transparent O(n) reference Lindley recursion."""
+    w = [0.0]
+    for j in range(1, len(arrivals)):
+        w.append(max(0.0, w[-1] + sizes[j - 1] - (arrivals[j] - arrivals[j - 1])))
+    return np.array(w)
+
+
+def brute_force_lwl(arrivals, sizes, h):
+    """Reference LWL: explicit per-host virtual completion times."""
+    v = [0.0] * h
+    waits = []
+    for t, s in zip(arrivals, sizes):
+        work = [max(0.0, vi - t) for vi in v]
+        i = int(np.argmin(work))
+        waits.append(work[i])
+        v[i] = t + work[i] + s
+    return np.array(waits)
+
+
+class TestFcfsWaits:
+    def test_empty(self):
+        assert fcfs_waits(np.array([]), np.array([])).size == 0
+
+    def test_single_job(self):
+        assert fcfs_waits(np.array([3.0]), np.array([5.0])) == pytest.approx([0.0])
+
+    def test_hand_example(self):
+        # (t, s): (0,4) (1,2) (2,1) (3,8) (10,1)
+        w = fcfs_waits(np.array([0.0, 1, 2, 3, 10]), np.array([4.0, 2, 1, 8, 1]))
+        assert list(w) == pytest.approx([0.0, 3.0, 4.0, 4.0, 5.0])
+
+    def test_matches_brute_force(self, rng):
+        t = np.cumsum(rng.exponential(1.0, 500))
+        s = rng.lognormal(0.0, 1.5, 500)
+        np.testing.assert_allclose(fcfs_waits(t, s), brute_force_fcfs(t, s), atol=1e-9)
+
+    def test_light_load_all_zero(self):
+        t = np.arange(100, dtype=float) * 10.0
+        s = np.ones(100)
+        assert np.all(fcfs_waits(t, s) == 0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            fcfs_waits(np.array([1.0, 2.0]), np.array([1.0]))
+
+
+class TestLwlWaits:
+    def test_matches_brute_force(self, rng):
+        for h in (1, 2, 3, 8):
+            t = np.cumsum(rng.exponential(1.0, 400))
+            s = rng.lognormal(0.0, 1.5, 400)
+            waits, _ = lwl_waits(t, s, h)
+            np.testing.assert_allclose(waits, brute_force_lwl(t, s, h), atol=1e-9)
+
+    def test_one_host_is_fcfs(self, rng):
+        t = np.cumsum(rng.exponential(1.0, 300))
+        s = rng.exponential(2.0, 300)
+        waits, hosts = lwl_waits(t, s, 1)
+        np.testing.assert_allclose(waits, fcfs_waits(t, s), atol=1e-12)
+        assert np.all(hosts == 0)
+
+    def test_hosts_in_range(self, rng):
+        t = np.cumsum(rng.exponential(1.0, 200))
+        s = rng.exponential(2.0, 200)
+        _, hosts = lwl_waits(t, s, 4)
+        assert hosts.min() >= 0 and hosts.max() < 4
+
+    def test_more_hosts_never_worse(self, rng):
+        t = np.cumsum(rng.exponential(0.5, 1000))
+        s = rng.lognormal(0.0, 1.0, 1000)
+        w2, _ = lwl_waits(t, s, 2)
+        w4, _ = lwl_waits(t, s, 4)
+        assert np.mean(w4) <= np.mean(w2) + 1e-12
+
+    def test_invalid_hosts(self):
+        with pytest.raises(ValueError):
+            lwl_waits(np.array([0.0]), np.array([1.0]), 0)
+
+
+class TestShortestQueueWaits:
+    def test_single_host_is_fcfs(self, rng):
+        t = np.cumsum(rng.exponential(1.0, 300))
+        s = rng.exponential(2.0, 300)
+        waits, _ = shortest_queue_waits(t, s, 1)
+        np.testing.assert_allclose(waits, fcfs_waits(t, s), atol=1e-12)
+
+    def test_ties_prefer_lowest_index(self):
+        t = np.array([0.0, 0.0])
+        s = np.array([5.0, 5.0])
+        _, hosts = shortest_queue_waits(t, s, 3)
+        assert list(hosts) == [0, 1]
+
+    def test_counts_drive_choice(self):
+        # Host 0 busy with a long job; a burst of shorts should spread out.
+        t = np.array([0.0, 1.0, 2.0])
+        s = np.array([100.0, 1.0, 1.0])
+        _, hosts = shortest_queue_waits(t, s, 2)
+        assert list(hosts) == [0, 1, 1]  # host1 empties before t=2
+
+    def test_hand_example_waits(self):
+        t = np.array([0.0, 0.0, 1.0])
+        s = np.array([4.0, 4.0, 4.0])
+        waits, hosts = shortest_queue_waits(t, s, 2)
+        assert list(hosts) == [0, 1, 0]
+        assert list(waits) == pytest.approx([0.0, 0.0, 3.0])
+
+
+@given(
+    st.integers(1, 6),
+    st.lists(
+        st.tuples(st.floats(0.0, 10.0), st.floats(0.01, 50.0)),
+        min_size=1,
+        max_size=120,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_lwl_property_matches_brute_force(h, jobs):
+    gaps = np.array([g for g, _ in jobs])
+    sizes = np.array([s for _, s in jobs])
+    arrivals = np.cumsum(gaps)
+    waits, _ = lwl_waits(arrivals, sizes, h)
+    expected = brute_force_lwl(arrivals, sizes, h)
+    np.testing.assert_allclose(waits, expected, atol=1e-9)
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0.0, 10.0), st.floats(0.01, 50.0)),
+        min_size=1,
+        max_size=200,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_fcfs_property_matches_brute_force(jobs):
+    gaps = np.array([g for g, _ in jobs])
+    sizes = np.array([s for _, s in jobs])
+    arrivals = np.cumsum(gaps)
+    np.testing.assert_allclose(
+        fcfs_waits(arrivals, sizes), brute_force_fcfs(arrivals, sizes), atol=1e-9
+    )

@@ -1,0 +1,131 @@
+"""Cross-validation: the fast kernels must reproduce the event engine.
+
+This is the load-bearing integration test of the whole simulator design
+(DESIGN.md §5): per-job waiting times from ``simulate_fast`` must equal
+those from ``DistributedServer`` to floating-point accuracy for every
+policy, on both hand-written and randomly generated workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policies import (
+    CentralQueuePolicy,
+    GroupedSITAPolicy,
+    LeastWorkLeftPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    SITAPolicy,
+    ShortestQueuePolicy,
+)
+from repro.sim.fast import simulate_fast
+from repro.sim.server import DistributedServer
+from repro.workloads.traces import Trace
+
+POLICY_FACTORIES = [
+    pytest.param(lambda: RandomPolicy(), 2, id="random-2"),
+    pytest.param(lambda: RandomPolicy(), 5, id="random-5"),
+    pytest.param(lambda: RoundRobinPolicy(), 3, id="round-robin-3"),
+    pytest.param(lambda: ShortestQueuePolicy(), 2, id="sq-2"),
+    pytest.param(lambda: ShortestQueuePolicy(), 4, id="sq-4"),
+    pytest.param(lambda: LeastWorkLeftPolicy(), 2, id="lwl-2"),
+    pytest.param(lambda: LeastWorkLeftPolicy(), 6, id="lwl-6"),
+    pytest.param(lambda: CentralQueuePolicy(), 3, id="central-3"),
+    pytest.param(lambda: SITAPolicy([50.0]), 2, id="sita-2"),
+    pytest.param(lambda: SITAPolicy([10.0, 200.0]), 3, id="sita-3"),
+    pytest.param(lambda: GroupedSITAPolicy(50.0, 2), 4, id="grouped-4"),
+]
+
+
+def random_trace(seed: int, n: int = 800) -> Trace:
+    rng = np.random.default_rng(seed)
+    arrivals = np.cumsum(rng.exponential(20.0, n))
+    sizes = rng.lognormal(2.5, 1.8, n)
+    return Trace(arrivals, sizes, name=f"rand{seed}")
+
+
+@pytest.mark.parametrize("factory,n_hosts", POLICY_FACTORIES)
+def test_waits_agree(factory, n_hosts):
+    trace = random_trace(31, 800)
+    fast = simulate_fast(trace, factory(), n_hosts, rng=5)
+    event = DistributedServer(n_hosts, factory(), rng=5).run_trace(trace)
+    np.testing.assert_allclose(fast.wait_times, event.wait_times, atol=1e-6)
+
+
+@pytest.mark.parametrize("factory,n_hosts", POLICY_FACTORIES)
+def test_summaries_agree(factory, n_hosts):
+    trace = random_trace(32, 600)
+    fast = simulate_fast(trace, factory(), n_hosts, rng=8).summary()
+    event = DistributedServer(n_hosts, factory(), rng=8).run_trace(trace).summary()
+    assert fast.mean_slowdown == pytest.approx(event.mean_slowdown, rel=1e-9)
+    assert fast.var_slowdown == pytest.approx(event.var_slowdown, rel=1e-9)
+    assert fast.mean_response == pytest.approx(event.mean_response, rel=1e-9)
+
+
+def test_assignments_agree_for_deterministic_policies():
+    trace = random_trace(33, 500)
+    for factory, h in ((lambda: RoundRobinPolicy(), 3), (lambda: SITAPolicy([40.0]), 2)):
+        fast = simulate_fast(trace, factory(), h, rng=0)
+        event = DistributedServer(h, factory(), rng=0).run_trace(trace)
+        np.testing.assert_array_equal(fast.host_assignments, event.host_assignments)
+
+
+def test_random_policy_consumes_rng_identically():
+    """Batch assignment and per-job assignment draw the same stream."""
+    trace = random_trace(34, 400)
+    fast = simulate_fast(trace, RandomPolicy(), 3, rng=99)
+    event = DistributedServer(3, RandomPolicy(), rng=99).run_trace(trace)
+    np.testing.assert_array_equal(fast.host_assignments, event.host_assignments)
+
+
+def test_tags_cascade_matches_event_engine():
+    from repro.core.policies import TAGSPolicy
+
+    trace = random_trace(35, 600)
+    cutoffs = [float(np.median(trace.service_times))]
+    fast = simulate_fast(trace, TAGSPolicy(cutoffs), 2, rng=0)
+    event = DistributedServer(2, TAGSPolicy(cutoffs), rng=0).run_trace(trace)
+    np.testing.assert_allclose(fast.wait_times, event.wait_times, atol=1e-6)
+    np.testing.assert_array_equal(fast.host_assignments, event.host_assignments)
+    np.testing.assert_allclose(fast.wasted_work, event.wasted_work, atol=1e-9)
+
+
+@given(
+    st.integers(0, 10_000),
+    st.sampled_from(["lwl", "sq", "rr", "sita", "central", "grouped"]),
+    st.integers(2, 5),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_backends_agree(seed, policy_name, n_hosts):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(5, 150))
+    arrivals = np.cumsum(rng.exponential(10.0, n))
+    sizes = rng.lognormal(2.0, 1.5, n)
+    trace = Trace(arrivals, sizes)
+
+    def make():
+        if policy_name == "lwl":
+            return LeastWorkLeftPolicy()
+        if policy_name == "sq":
+            return ShortestQueuePolicy()
+        if policy_name == "rr":
+            return RoundRobinPolicy()
+        if policy_name == "central":
+            return CentralQueuePolicy()
+        if policy_name == "grouped":
+            return GroupedSITAPolicy(float(np.median(sizes)), max(1, n_hosts - 1))
+        return SITAPolicy(
+            sorted(set(np.quantile(sizes, np.linspace(0.3, 0.9, n_hosts - 1))))
+        )
+
+    try:
+        policy = make()
+    except ValueError:
+        return  # degenerate cutoffs from tied quantiles — not this test's target
+    fast = simulate_fast(trace, policy, n_hosts, rng=seed)
+    event = DistributedServer(n_hosts, make(), rng=seed).run_trace(trace)
+    np.testing.assert_allclose(fast.wait_times, event.wait_times, atol=1e-6)

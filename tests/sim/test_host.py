@@ -1,0 +1,157 @@
+"""Tests for the FCFS run-to-completion host."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.host import FCFSHost
+from repro.sim.jobs import Job
+
+
+def make_host(sim, completed, evicted=None, limit=math.inf):
+    def on_completion(host, job):
+        completed.append(job)
+
+    on_eviction = None
+    if evicted is not None:
+        def on_eviction(host, job):
+            evicted.append(job)
+
+    return FCFSHost(sim, 0, on_completion, on_eviction, limit=limit)
+
+
+class TestFCFSBehaviour:
+    def test_single_job_runs_immediately(self):
+        sim, done = Simulator(), []
+        host = make_host(sim, done)
+        sim.schedule(0.0, host.submit, Job(0, 0.0, 5.0))
+        sim.run()
+        assert len(done) == 1
+        assert done[0].start_time == 0.0
+        assert done[0].completion_time == 5.0
+        assert done[0].wait_time == 0.0
+        assert done[0].slowdown == 1.0
+
+    def test_fcfs_ordering(self):
+        sim, done = Simulator(), []
+        host = make_host(sim, done)
+        # Three jobs arrive while the first is still running.
+        for i, (t, s) in enumerate([(0.0, 10.0), (1.0, 1.0), (2.0, 2.0)]):
+            sim.schedule(t, host.submit, Job(i, t, s))
+        sim.run()
+        assert [j.index for j in done] == [0, 1, 2]
+        assert done[1].start_time == 10.0  # waited for job 0
+        assert done[2].start_time == 11.0  # then job 1
+        assert done[1].wait_time == pytest.approx(9.0)
+
+    def test_idle_gap_then_new_job(self):
+        sim, done = Simulator(), []
+        host = make_host(sim, done)
+        sim.schedule(0.0, host.submit, Job(0, 0.0, 1.0))
+        sim.schedule(5.0, host.submit, Job(1, 5.0, 1.0))
+        sim.run()
+        assert done[1].start_time == 5.0
+        assert done[1].wait_time == 0.0
+
+    def test_work_left_decays(self):
+        sim, done = Simulator(), []
+        host = make_host(sim, done)
+        sim.schedule(0.0, host.submit, Job(0, 0.0, 10.0))
+        sim.schedule(4.0, lambda: done.append(host.work_left(sim.now)))
+        sim.run()
+        # done[0] is the probe (work left 6 at t=4); done[1] the job.
+        assert done[0] == pytest.approx(6.0)
+
+    def test_work_left_accumulates_queue(self):
+        sim, done = Simulator(), []
+        host = make_host(sim, done)
+        probe = []
+        sim.schedule(0.0, host.submit, Job(0, 0.0, 10.0))
+        sim.schedule(0.0, host.submit, Job(1, 0.0, 3.0))
+        sim.schedule(1.0, lambda: probe.append(host.work_left(sim.now)))
+        sim.run()
+        assert probe[0] == pytest.approx(12.0)
+
+    def test_n_in_system(self):
+        sim, done = Simulator(), []
+        host = make_host(sim, done)
+        probe = []
+        sim.schedule(0.0, host.submit, Job(0, 0.0, 10.0))
+        sim.schedule(0.0, host.submit, Job(1, 0.0, 3.0))
+        sim.schedule(1.0, lambda: probe.append(host.n_in_system))
+        sim.schedule(11.0, lambda: probe.append(host.n_in_system))
+        sim.schedule(14.0, lambda: probe.append(host.n_in_system))
+        sim.run()
+        assert probe == [2, 1, 0]
+
+    def test_busy_time_accounting(self):
+        sim, done = Simulator(), []
+        host = make_host(sim, done)
+        for i, s in enumerate([2.0, 3.0]):
+            sim.schedule(0.0, host.submit, Job(i, 0.0, s))
+        sim.run()
+        assert host.busy_time == pytest.approx(5.0)
+        assert host.jobs_completed == 2
+        assert host.idle
+
+
+class TestEviction:
+    def test_limit_kills_long_job(self):
+        sim, done, evicted = Simulator(), [], []
+        host = make_host(sim, done, evicted, limit=4.0)
+        sim.schedule(0.0, host.submit, Job(0, 0.0, 10.0))
+        sim.run()
+        assert done == []
+        assert len(evicted) == 1
+        assert evicted[0].wasted_work == pytest.approx(4.0)
+        assert evicted[0].restarts == 1
+        assert host.wasted_time == pytest.approx(4.0)
+
+    def test_limit_spares_short_job(self):
+        sim, done, evicted = Simulator(), [], []
+        host = make_host(sim, done, evicted, limit=4.0)
+        sim.schedule(0.0, host.submit, Job(0, 0.0, 3.0))
+        sim.run()
+        assert len(done) == 1 and evicted == []
+
+    def test_eviction_without_handler_raises(self):
+        sim, done = Simulator(), []
+        host = make_host(sim, done, evicted=None, limit=1.0)
+        sim.schedule(0.0, host.submit, Job(0, 0.0, 5.0))
+        with pytest.raises(RuntimeError, match="no on_eviction handler"):
+            sim.run()
+
+    def test_work_left_uses_limited_service(self):
+        sim, done, evicted = Simulator(), [], []
+        host = make_host(sim, done, evicted, limit=4.0)
+        probe = []
+        sim.schedule(0.0, host.submit, Job(0, 0.0, 100.0))
+        sim.schedule(1.0, lambda: probe.append(host.work_left(sim.now)))
+        sim.run()
+        assert probe[0] == pytest.approx(3.0)  # 4s limit - 1s elapsed
+
+    def test_invalid_limit(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            FCFSHost(sim, 0, lambda h, j: None, limit=0.0)
+
+
+class TestJobValidation:
+    def test_job_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            Job(0, 0.0, 0.0)
+
+    def test_job_estimate_defaults_to_size(self):
+        j = Job(0, 0.0, 5.0)
+        assert j.size_estimate == 5.0
+
+    def test_unfinished_job_metrics_raise(self):
+        j = Job(0, 0.0, 5.0)
+        assert not j.finished
+        with pytest.raises(ValueError):
+            _ = j.response_time
+        with pytest.raises(ValueError):
+            _ = j.wait_time

@@ -1,0 +1,148 @@
+"""Property tests for simulator invariants (conservation laws).
+
+These hold for *every* policy and workload, so they make strong
+hypothesis targets:
+
+* work conservation per host: busy time equals the total size assigned;
+* FCFS order within a host: same-host jobs start in arrival order;
+* no host runs two jobs at once;
+* response ≥ size, wait ≥ 0, slowdown ≥ 1;
+* the system drains: last completion ≥ last arrival, and total busy time
+  equals total work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policies import (
+    LeastWorkLeftPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    SITAPolicy,
+    ShortestQueuePolicy,
+    TAGSPolicy,
+)
+from repro.sim.server import DistributedServer
+from repro.workloads.traces import Trace
+
+POLICY_NAMES = ["random", "rr", "sq", "lwl", "sita", "tags"]
+
+
+def build_policy(name: str, sizes: np.ndarray, n_hosts: int):
+    if name == "random":
+        return RandomPolicy()
+    if name == "rr":
+        return RoundRobinPolicy()
+    if name == "sq":
+        return ShortestQueuePolicy()
+    if name == "lwl":
+        return LeastWorkLeftPolicy()
+    if name == "sita":
+        qs = np.quantile(sizes, np.linspace(0.4, 0.9, n_hosts - 1))
+        qs = np.unique(qs)
+        if qs.size != n_hosts - 1:
+            return None
+        return SITAPolicy(qs)
+    if name == "tags":
+        qs = np.unique(np.quantile(sizes, np.linspace(0.4, 0.9, n_hosts - 1)))
+        if qs.size != n_hosts - 1:
+            return None
+        return TAGSPolicy(qs)
+    raise AssertionError(name)
+
+
+@st.composite
+def workloads(draw):
+    n = draw(st.integers(5, 80))
+    seed = draw(st.integers(0, 2**20))
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(draw(st.floats(0.5, 30.0)), n)
+    sizes = rng.lognormal(draw(st.floats(0.0, 3.0)), draw(st.floats(0.2, 2.0)), n)
+    return Trace(np.cumsum(gaps), sizes)
+
+
+@given(workloads(), st.sampled_from(POLICY_NAMES), st.integers(2, 4))
+@settings(max_examples=80, deadline=None)
+def test_simulation_invariants(trace, policy_name, n_hosts):
+    policy = build_policy(policy_name, trace.service_times, n_hosts)
+    if policy is None:
+        return  # degenerate quantile cutoffs
+    server = DistributedServer(n_hosts, policy, rng=1)
+    result = server.run_trace(trace)
+
+    # Per-job sanity.
+    assert np.all(result.wait_times >= 0.0)
+    assert np.all(result.slowdowns >= 1.0 - 1e-9)
+    assert np.all(result.response_times >= result.sizes - 1e-9)
+
+    # Work conservation: every host's busy time is exactly the (useful)
+    # work of the jobs that finished there, and the grand total (plus any
+    # TAGS waste) accounts for all submitted work plus restarts.
+    total_busy = sum(h.busy_time for h in server.hosts)
+    assert total_busy == pytest.approx(float(np.sum(trace.service_times)), rel=1e-9)
+    for i, host in enumerate(server.hosts):
+        mask = result.host_assignments == i
+        assert host.busy_time == pytest.approx(
+            float(np.sum(result.sizes[mask])), rel=1e-9, abs=1e-9
+        )
+        assert host.jobs_completed == int(np.sum(mask))
+
+    # All hosts idle at the end.
+    assert all(h.idle for h in server.hosts)
+
+
+@given(workloads(), st.sampled_from(["random", "rr", "sita", "lwl"]), st.integers(2, 3))
+@settings(max_examples=60, deadline=None)
+def test_fcfs_order_within_host(trace, policy_name, n_hosts):
+    """Same-host completions must respect arrival order (FCFS, no TAGS)."""
+    policy = build_policy(policy_name, trace.service_times, n_hosts)
+    if policy is None:
+        return
+    result = DistributedServer(n_hosts, policy, rng=2).run_trace(trace)
+    completion = result.arrival_times + result.response_times
+    for i in range(n_hosts):
+        mask = result.host_assignments == i
+        comps = completion[mask]  # in arrival order by construction
+        assert np.all(np.diff(comps) >= -1e-9)
+
+
+@given(workloads())
+@settings(max_examples=40, deadline=None)
+def test_single_host_is_work_conserving(trace):
+    """One FCFS host never idles while work is queued: its makespan equals
+    the Lindley bound max over k of (t_k + remaining work after t_k)."""
+    result = DistributedServer(1, RandomPolicy(), rng=3).run_trace(trace)
+    completion = result.arrival_times + result.response_times
+    t = result.arrival_times
+    s = result.sizes
+    # Busy-period structure: completion of last job = max over k of
+    # (t_k + sum of sizes from k onward).
+    tail_work = np.cumsum(s[::-1])[::-1]
+    expected_end = float(np.max(t + tail_work))
+    assert float(completion[-1]) == pytest.approx(expected_end, rel=1e-12)
+
+
+@given(workloads(), st.integers(2, 4))
+@settings(max_examples=40, deadline=None)
+def test_tags_waste_accounting(trace, n_hosts):
+    qs = np.unique(np.quantile(trace.service_times, np.linspace(0.4, 0.9, n_hosts - 1)))
+    if qs.size != n_hosts - 1:
+        return
+    server = DistributedServer(n_hosts, TAGSPolicy(qs), rng=4)
+    result = server.run_trace(trace)
+    # Wasted work recorded on jobs equals wasted time recorded on hosts.
+    job_waste = float(np.sum(result.wasted_work))
+    host_waste = sum(h.wasted_time for h in server.hosts)
+    assert job_waste == pytest.approx(host_waste, rel=1e-9, abs=1e-9)
+    # A job that ends on host k > 0 must have wasted exactly the sum of
+    # the limits of hosts 0..k-1.
+    limits = list(qs)
+    for j in range(result.n_jobs):
+        k = int(result.host_assignments[j])
+        assert result.wasted_work[j] == pytest.approx(
+            float(np.sum(limits[:k])), rel=1e-9, abs=1e-9
+        )

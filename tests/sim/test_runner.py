@@ -1,0 +1,43 @@
+"""Tests for the high-level simulate() entry point."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.policies import LeastWorkLeftPolicy, RandomPolicy, TAGSPolicy
+from repro.sim.runner import simulate
+
+
+class TestBackendRouting:
+    def test_auto_uses_fast_for_lwl(self, small_c90_trace):
+        r = simulate(small_c90_trace, LeastWorkLeftPolicy(), 2, rng=0, backend="auto")
+        assert r.n_jobs == small_c90_trace.n_jobs
+
+    def test_tags_works_on_both_backends(self, tiny_trace):
+        import numpy as np
+
+        fast = simulate(tiny_trace, TAGSPolicy([3.0]), 2, rng=0, backend="fast")
+        event = simulate(tiny_trace, TAGSPolicy([3.0]), 2, rng=0, backend="event")
+        assert fast.wasted_work is not None
+        np.testing.assert_allclose(fast.wait_times, event.wait_times, atol=1e-9)
+
+    def test_forced_event_backend(self, tiny_trace):
+        r = simulate(tiny_trace, RandomPolicy(), 2, rng=0, backend="event")
+        assert r.n_jobs == 5
+
+    def test_unknown_backend(self, tiny_trace):
+        with pytest.raises(ValueError, match="unknown backend"):
+            simulate(tiny_trace, RandomPolicy(), 2, rng=0, backend="turbo")
+
+    def test_backends_equivalent(self, small_c90_trace):
+        fast = simulate(small_c90_trace, LeastWorkLeftPolicy(), 3, rng=1, backend="fast")
+        event = simulate(small_c90_trace, LeastWorkLeftPolicy(), 3, rng=1, backend="event")
+        np.testing.assert_allclose(fast.wait_times, event.wait_times, atol=1e-6)
+
+    def test_size_estimates_forwarded(self, tiny_trace):
+        from repro.core.policies import SITAPolicy
+
+        est = np.full(tiny_trace.n_jobs, 1.0)
+        r = simulate(tiny_trace, SITAPolicy([3.0]), 2, rng=0, size_estimates=est)
+        assert np.all(r.host_assignments == 0)

@@ -1,0 +1,139 @@
+"""Tests for the event-driven distributed server."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.policies import (
+    CentralQueuePolicy,
+    LeastWorkLeftPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    SITAPolicy,
+    ShortestQueuePolicy,
+    TAGSPolicy,
+)
+from repro.sim.server import DistributedServer
+from repro.workloads.traces import Trace
+
+
+class TestBasicDispatch:
+    def test_round_robin_assignment(self, tiny_trace):
+        server = DistributedServer(2, RoundRobinPolicy(), rng=0)
+        result = server.run_trace(tiny_trace)
+        assert list(result.host_assignments) == [0, 1, 0, 1, 0]
+
+    def test_all_jobs_complete(self, tiny_trace):
+        result = DistributedServer(3, RandomPolicy(), rng=1).run_trace(tiny_trace)
+        assert result.n_jobs == tiny_trace.n_jobs
+        assert np.all(result.wait_times >= 0)
+
+    def test_sita_routes_by_size(self, tiny_trace):
+        # cutoff 3: sizes [4,2,1,8,1] -> hosts [1,0,0,1,0]
+        policy = SITAPolicy([3.0])
+        result = DistributedServer(2, policy, rng=0).run_trace(tiny_trace)
+        assert list(result.host_assignments) == [1, 0, 0, 1, 0]
+
+    def test_single_host_is_fcfs_queue(self, tiny_trace):
+        result = DistributedServer(1, RandomPolicy(), rng=0).run_trace(tiny_trace)
+        # Manually computed FCFS waits for (t, s) = (0,4),(1,2),(2,1),(3,8),(10,1)
+        assert list(result.wait_times) == pytest.approx([0.0, 3.0, 4.0, 4.0, 5.0])
+
+    def test_lwl_prefers_least_loaded(self, tiny_trace):
+        result = DistributedServer(2, LeastWorkLeftPolicy(), rng=0).run_trace(tiny_trace)
+        # job0 -> host0 (both idle, argmin tie -> 0); job1 -> host1 (0 busy)
+        assert result.host_assignments[0] == 0
+        assert result.host_assignments[1] == 1
+
+    def test_shortest_queue_counts_jobs(self, tiny_trace):
+        result = DistributedServer(2, ShortestQueuePolicy(), rng=0).run_trace(tiny_trace)
+        assert result.n_jobs == 5
+
+    def test_size_estimates_drive_sita(self, tiny_trace):
+        policy = SITAPolicy([3.0])
+        # Lie about every size: claim all are tiny -> all to host 0.
+        est = np.full(tiny_trace.n_jobs, 1.0)
+        result = DistributedServer(2, policy, rng=0).run_trace(
+            tiny_trace, size_estimates=est
+        )
+        assert np.all(result.host_assignments == 0)
+
+    def test_size_estimate_length_checked(self, tiny_trace):
+        with pytest.raises(ValueError):
+            DistributedServer(2, SITAPolicy([3.0]), rng=0).run_trace(
+                tiny_trace, size_estimates=np.ones(3)
+            )
+
+
+class TestCentralQueue:
+    def test_jobs_start_when_hosts_free(self, tiny_trace):
+        result = DistributedServer(2, CentralQueuePolicy(), rng=0).run_trace(tiny_trace)
+        assert result.n_jobs == 5
+        assert np.all(result.wait_times >= 0)
+
+    def test_matches_lwl_waits(self, tiny_trace):
+        cq = DistributedServer(2, CentralQueuePolicy(), rng=0).run_trace(tiny_trace)
+        lwl = DistributedServer(2, LeastWorkLeftPolicy(), rng=0).run_trace(tiny_trace)
+        np.testing.assert_allclose(cq.wait_times, lwl.wait_times, atol=1e-9)
+
+
+class TestTAGS:
+    def test_short_jobs_finish_on_host0(self):
+        trace = Trace([0.0, 100.0], [2.0, 3.0])
+        result = DistributedServer(2, TAGSPolicy([5.0]), rng=0).run_trace(trace)
+        assert np.all(result.host_assignments == 0)
+        assert np.all(result.wasted_work == 0.0)
+
+    def test_long_jobs_restart_on_host1(self):
+        trace = Trace([0.0], [10.0])
+        result = DistributedServer(2, TAGSPolicy([5.0]), rng=0).run_trace(trace)
+        assert result.host_assignments[0] == 1
+        # 5s wasted on host 0, full 10s on host 1: response = 15.
+        assert result.wasted_work[0] == pytest.approx(5.0)
+        assert result.response_times[0] == pytest.approx(15.0)
+        assert result.wait_times[0] == pytest.approx(5.0)
+
+    def test_cascade_through_three_hosts(self):
+        trace = Trace([0.0], [100.0])
+        result = DistributedServer(3, TAGSPolicy([2.0, 10.0]), rng=0).run_trace(trace)
+        assert result.host_assignments[0] == 2
+        assert result.wasted_work[0] == pytest.approx(12.0)
+        assert result.response_times[0] == pytest.approx(112.0)
+
+    def test_cutoff_count_must_match_hosts(self):
+        with pytest.raises(ValueError):
+            DistributedServer(3, TAGSPolicy([5.0]), rng=0)
+
+
+class TestValidation:
+    def test_rejects_zero_hosts(self):
+        with pytest.raises(ValueError):
+            DistributedServer(0, RandomPolicy(), rng=0)
+
+    def test_rejects_unknown_policy_kind(self):
+        class Weird:
+            kind = "quantum"
+
+        with pytest.raises(ValueError, match="unsupported kind"):
+            DistributedServer(2, Weird(), rng=0)
+
+    def test_policy_returning_bad_host_caught(self, tiny_trace):
+        class Broken(RandomPolicy):
+            def choose_host(self, job, state):
+                return 99
+
+        with pytest.raises(ValueError, match="invalid host"):
+            DistributedServer(2, Broken(), rng=0).run_trace(tiny_trace)
+
+    def test_sita_cutoff_count_checked(self, tiny_trace):
+        with pytest.raises(ValueError):
+            DistributedServer(4, SITAPolicy([3.0]), rng=0).run_trace(tiny_trace)
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, small_c90_trace):
+        r1 = DistributedServer(2, RandomPolicy(), rng=9).run_trace(small_c90_trace)
+        r2 = DistributedServer(2, RandomPolicy(), rng=9).run_trace(small_c90_trace)
+        np.testing.assert_array_equal(r1.host_assignments, r2.host_assignments)
+        np.testing.assert_array_equal(r1.wait_times, r2.wait_times)

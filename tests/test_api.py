@@ -1,0 +1,44 @@
+"""Public-API surface tests: everything advertised in __all__ exists and
+the quickstart from the package docstring runs."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.{name} missing"
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_docstring_quickstart_runs():
+    workload = repro.c90()
+    trace = workload.make_trace(load=0.7, n_hosts=2, n_jobs=3_000, rng=0)
+    cutoff = repro.fair_cutoff(0.7, workload.service_dist)
+    result = repro.simulate(
+        trace, repro.SITAPolicy([cutoff], name="sita-u-fair"), n_hosts=2
+    )
+    summary = result.summary(warmup_fraction=0.05)
+    assert summary.mean_slowdown >= 1.0
+
+
+def test_experiment_registry_exposed():
+    ids = {eid for eid, _ in repro.list_experiments()}
+    assert "fig4" in ids
+
+
+def test_policies_are_distinct_classes():
+    names = {
+        repro.RandomPolicy().name,
+        repro.RoundRobinPolicy().name,
+        repro.ShortestQueuePolicy().name,
+        repro.LeastWorkLeftPolicy().name,
+        repro.CentralQueuePolicy().name,
+    }
+    assert len(names) == 5

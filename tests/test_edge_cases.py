@@ -1,0 +1,164 @@
+"""Edge cases and failure injection across the stack.
+
+Production code meets malformed inputs, boundary loads, degenerate
+workloads and adversarial traces; this module makes sure every layer
+fails loudly (never silently wrong) or degrades gracefully.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.cutoffs import (
+    equal_load_cutoffs,
+    fair_cutoff,
+    feasible_cutoff_range,
+    opt_cutoff,
+)
+from repro.core.policies import (
+    LeastWorkLeftPolicy,
+    RandomPolicy,
+    SITAPolicy,
+)
+from repro.sim.runner import simulate
+from repro.workloads.catalog import c90
+from repro.workloads.distributions import Deterministic, Empirical, Lognormal
+from repro.workloads.traces import Trace, read_swf
+
+
+class TestDegenerateTraces:
+    def test_single_job(self):
+        trace = Trace([5.0], [10.0])
+        r = simulate(trace, RandomPolicy(), 2, rng=0)
+        assert r.wait_times[0] == 0.0
+        assert r.slowdowns[0] == 1.0
+
+    def test_simultaneous_arrivals(self):
+        trace = Trace([0.0, 0.0, 0.0], [1.0, 1.0, 1.0])
+        r = simulate(trace, LeastWorkLeftPolicy(), 2, rng=0)
+        # Two run immediately; the third waits exactly one service.
+        assert sorted(r.wait_times) == pytest.approx([0.0, 0.0, 1.0])
+
+    def test_identical_sizes_exact_waits(self):
+        # Arrivals every 1s, service 3s, 2 LWL hosts: each host gets every
+        # other job (gap 2 < service 3), so its backlog grows by 1s per
+        # job: wait of the i-th arrival is floor(i/2).
+        trace = Trace(np.arange(50, dtype=float), np.full(50, 3.0))
+        r = simulate(trace, LeastWorkLeftPolicy(), 2, rng=0)
+        expected = np.arange(50) // 2
+        np.testing.assert_allclose(r.wait_times, expected, atol=1e-9)
+
+    def test_extreme_size_ratio(self):
+        # 12 orders of magnitude between smallest and largest job.
+        trace = Trace([0.0, 1.0, 2.0], [1e-6, 1e6, 1e-6])
+        r = simulate(trace, SITAPolicy([1.0]), 2, rng=0)
+        assert np.isfinite(r.slowdowns).all()
+        assert r.host_assignments[1] == 1
+
+    def test_huge_time_offsets(self):
+        # Arrivals far from zero must not lose precision catastrophically.
+        base = 1.6e9  # epoch-like timestamps
+        trace = Trace(base + np.arange(100, dtype=float) * 10.0, np.full(100, 5.0))
+        r = simulate(trace, LeastWorkLeftPolicy(), 1, rng=0)
+        assert np.all(r.wait_times >= 0.0)
+        assert np.all(r.wait_times < 10.0)
+
+
+class TestUnstableConfigurations:
+    def test_overloaded_single_host_still_simulates(self):
+        """rho > 1 is not an error for a finite trace — waits just grow."""
+        w = c90()
+        trace = w.make_trace(load=1.5, n_hosts=1, n_jobs=2000, rng=0)
+        r = simulate(trace, RandomPolicy(), 1, rng=0)
+        # Waits trend upward: the last decile waits far more than the first.
+        first = float(np.mean(r.wait_times[:200]))
+        last = float(np.mean(r.wait_times[-200:]))
+        assert last > first
+
+    def test_analytic_layers_reject_overload(self):
+        d = Lognormal.fit(100.0, 4.0)
+        with pytest.raises(ValueError):
+            feasible_cutoff_range(1.2, d)
+        with pytest.raises(ValueError):
+            opt_cutoff(1.0, d)
+
+    def test_sita_with_all_jobs_on_one_host(self):
+        trace = Trace(np.arange(100, dtype=float) * 100, np.full(100, 5.0))
+        # Cutoff above every size: host 1 idles, host 0 takes everything.
+        r = simulate(trace, SITAPolicy([10.0]), 2, rng=0)
+        assert np.all(r.host_assignments == 0)
+        assert r.summary().host_load_fraction[1] == 0.0
+
+
+class TestDegenerateDistributions:
+    def test_deterministic_cutoffs_rejected(self):
+        d = Deterministic(5.0)
+        # No cutoff can split a point mass into two non-empty classes.
+        with pytest.raises(ValueError):
+            equal_load_cutoffs(d, 2)
+
+    def test_two_point_empirical(self):
+        e = Empirical([1.0, 1.0, 1.0, 1000.0])
+        cuts = equal_load_cutoffs(e, 2)
+        assert 1.0 <= cuts[0] < 1000.0
+
+    def test_fair_cutoff_low_load_extremes(self):
+        d = c90().service_dist
+        c = fair_cutoff(0.02, d)
+        assert d.lower < c < d.upper
+
+    def test_empirical_single_value(self):
+        e = Empirical([5.0])
+        assert e.mean == 5.0
+        assert e.ppf(0.5) == 5.0
+        with pytest.raises(ValueError):
+            equal_load_cutoffs(e, 2)
+
+
+class TestMalformedSWF:
+    def test_garbage_numbers(self, tmp_path):
+        p = tmp_path / "bad.swf"
+        p.write_text("1 abc 0 10 1 -1 -1 1 -1 -1 1 1 1 -1 1 -1 -1 -1\n")
+        with pytest.raises(ValueError):
+            read_swf(p)
+
+    def test_only_bad_runtimes(self, tmp_path):
+        p = tmp_path / "empty.swf"
+        p.write_text(
+            "1 0 0 -1 1 -1 -1 1 -1 -1 0 1 1 -1 1 -1 -1 -1\n"
+            "2 1 0 0 1 -1 -1 1 -1 -1 0 1 1 -1 1 -1 -1 -1\n"
+        )
+        with pytest.raises(ValueError, match="no usable jobs"):
+            read_swf(p)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_swf(tmp_path / "nope.swf")
+
+
+class TestNumericRobustness:
+    def test_long_horizon_precision(self):
+        """A year-long heavy-load trace must not produce negative waits."""
+        w = c90()
+        trace = w.make_trace(load=0.9, n_hosts=2, n_jobs=50_000, rng=3)
+        assert trace.duration > 1e8  # ~ several years of simulated time
+        r = simulate(trace, LeastWorkLeftPolicy(), 2, rng=0)
+        assert np.all(r.wait_times >= 0.0)
+
+    def test_tiny_job_slowdowns_finite(self):
+        sizes = np.concatenate([np.full(500, 1e-9), np.full(5, 1e5)])
+        rng = np.random.default_rng(0)
+        order = rng.permutation(sizes.size)
+        trace = Trace(np.cumsum(rng.exponential(10.0, sizes.size)), sizes[order])
+        r = simulate(trace, LeastWorkLeftPolicy(), 2, rng=0)
+        assert np.all(np.isfinite(r.slowdowns))
+
+    def test_bounded_pareto_near_degenerate(self):
+        from repro.workloads.distributions import BoundedPareto
+
+        d = BoundedPareto(1.0, 1.0 + 1e-9, 1.0)
+        assert d.mean == pytest.approx(1.0, rel=1e-6)
+        assert d.scv == pytest.approx(0.0, abs=1e-8)

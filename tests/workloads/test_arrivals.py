@@ -1,0 +1,166 @@
+"""Tests for the arrival-process library."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.arrivals import (
+    MMPP2Arrivals,
+    PoissonArrivals,
+    RenewalArrivals,
+    TraceArrivals,
+    load_for_rate,
+    rate_for_load,
+)
+from repro.workloads.distributions import Exponential, Lognormal
+
+
+class TestRateForLoad:
+    def test_roundtrip(self):
+        rate = rate_for_load(0.7, 4, 100.0)
+        assert load_for_rate(rate, 4, 100.0) == pytest.approx(0.7)
+
+    def test_definition(self):
+        # rho = lambda * E[X] / h
+        assert rate_for_load(0.5, 2, 10.0) == pytest.approx(0.1)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5])
+    def test_rejects_nonpositive_load(self, bad):
+        with pytest.raises(ValueError):
+            rate_for_load(bad, 2, 10.0)
+
+    def test_rejects_bad_hosts_and_service(self):
+        with pytest.raises(ValueError):
+            rate_for_load(0.5, 0, 10.0)
+        with pytest.raises(ValueError):
+            rate_for_load(0.5, 2, 0.0)
+
+
+class TestPoisson:
+    def test_mean_rate(self, rng):
+        p = PoissonArrivals(0.25)
+        gaps = p.sample_interarrivals(100_000, rng)
+        assert np.mean(gaps) == pytest.approx(4.0, rel=0.02)
+
+    def test_scv_is_one(self, rng):
+        gaps = PoissonArrivals(1.0).sample_interarrivals(100_000, rng)
+        assert np.var(gaps) / np.mean(gaps) ** 2 == pytest.approx(1.0, rel=0.05)
+
+    def test_arrival_times_monotone(self, rng):
+        t = PoissonArrivals(1.0).sample_arrival_times(1000, rng)
+        assert np.all(np.diff(t) >= 0)
+
+    def test_with_rate(self):
+        assert PoissonArrivals(1.0).with_rate(3.0).rate == pytest.approx(3.0)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0)
+
+
+class TestRenewal:
+    def test_exponential_renewal_is_poisson(self, rng):
+        r = RenewalArrivals(Exponential(2.0))
+        assert r.rate == pytest.approx(0.5)
+        assert r.interarrival_scv == pytest.approx(1.0)
+
+    def test_bursty_hits_target_scv(self, rng):
+        r = RenewalArrivals.bursty(rate=0.1, scv=20.0)
+        assert r.rate == pytest.approx(0.1, rel=1e-9)
+        assert r.interarrival_scv == pytest.approx(20.0, rel=1e-9)
+        gaps = r.sample_interarrivals(400_000, rng)
+        assert np.mean(gaps) == pytest.approx(10.0, rel=0.05)
+
+    def test_with_rate_preserves_shape(self):
+        r = RenewalArrivals.bursty(rate=1.0, scv=9.0)
+        r2 = r.with_rate(0.01)
+        assert r2.rate == pytest.approx(0.01, rel=1e-9)
+        assert r2.interarrival_scv == pytest.approx(9.0, rel=1e-6)
+
+    def test_with_rate_generic_distribution(self, rng):
+        r = RenewalArrivals(Exponential(1.0)).with_rate(4.0)
+        assert r.rate == pytest.approx(4.0)
+        gaps = r.sample_interarrivals(50_000, rng)
+        assert np.mean(gaps) == pytest.approx(0.25, rel=0.05)
+
+
+class TestMMPP:
+    def test_mean_rate(self, rng):
+        m = MMPP2Arrivals([0.1, 10.0], [1.0, 1.0])
+        # equal sojourns: mean rate is the average of the two.
+        assert m.rate == pytest.approx(5.05)
+        gaps = m.sample_interarrivals(200_000, rng)
+        assert 1.0 / np.mean(gaps) == pytest.approx(m.rate, rel=0.1)
+
+    def test_interarrivals_positive(self, rng):
+        m = MMPP2Arrivals.bursty(rate=1.0, peak_to_mean=5.0, quiet_fraction=0.8)
+        gaps = m.sample_interarrivals(10_000, rng)
+        assert np.all(gaps >= 0)
+        assert gaps.size == 10_000
+
+    def test_bursty_constructor_rate(self, rng):
+        m = MMPP2Arrivals.bursty(rate=0.2, peak_to_mean=8.0, quiet_fraction=0.9)
+        assert m.rate == pytest.approx(0.2, rel=1e-9)
+        gaps = m.sample_interarrivals(300_000, rng)
+        assert 1.0 / np.mean(gaps) == pytest.approx(0.2, rel=0.1)
+
+    def test_burstiness_above_one(self):
+        m = MMPP2Arrivals.bursty(rate=1.0, peak_to_mean=5.0, quiet_fraction=0.9)
+        assert m.burstiness == pytest.approx(5.0, rel=1e-9)
+
+    def test_mmpp_scv_exceeds_poisson(self, rng):
+        m = MMPP2Arrivals.bursty(rate=1.0, peak_to_mean=9.0, quiet_fraction=0.95)
+        gaps = m.sample_interarrivals(200_000, rng)
+        scv = np.var(gaps) / np.mean(gaps) ** 2
+        assert scv > 2.0
+
+    def test_with_rate(self):
+        m = MMPP2Arrivals.bursty(rate=1.0, peak_to_mean=5.0, quiet_fraction=0.9)
+        assert m.with_rate(0.5).rate == pytest.approx(0.5, rel=1e-9)
+
+    def test_peak_to_mean_validation(self):
+        with pytest.raises(ValueError):
+            MMPP2Arrivals.bursty(rate=1.0, peak_to_mean=100.0, quiet_fraction=0.5)
+
+
+class TestTraceArrivals:
+    def test_replay_statistics(self, rng):
+        times = np.cumsum(rng.exponential(2.0, size=5000))
+        t = TraceArrivals(times)
+        assert t.rate == pytest.approx(0.5, rel=0.1)
+        gaps = t.sample_interarrivals(20_000, rng)
+        assert np.mean(gaps) == pytest.approx(2.0, rel=0.1)
+
+    def test_scaling_preserves_scv(self, rng):
+        times = np.cumsum(rng.lognormal(0.0, 1.5, size=5000))
+        t = TraceArrivals(times)
+        t2 = t.with_rate(t.rate * 10.0)
+        assert t2.interarrival_scv == pytest.approx(t.interarrival_scv, rel=1e-9)
+        assert t2.rate == pytest.approx(t.rate * 10.0, rel=1e-9)
+
+    def test_rejects_decreasing_times(self):
+        with pytest.raises(ValueError):
+            TraceArrivals([0.0, 2.0, 1.0])
+
+    def test_rejects_too_few(self):
+        with pytest.raises(ValueError):
+            TraceArrivals([1.0])
+
+
+@given(st.floats(0.05, 0.95), st.integers(1, 64), st.floats(1.0, 1e5))
+@settings(max_examples=50, deadline=None)
+def test_rate_for_load_properties(load, hosts, mean):
+    rate = rate_for_load(load, hosts, mean)
+    assert rate > 0
+    assert load_for_rate(rate, hosts, mean) == pytest.approx(load, rel=1e-12)
+
+
+@given(st.floats(1.5, 50.0), st.floats(0.001, 10.0))
+@settings(max_examples=30, deadline=None)
+def test_bursty_renewal_fit(scv, rate):
+    r = RenewalArrivals.bursty(rate=rate, scv=scv)
+    assert r.rate == pytest.approx(rate, rel=1e-9)
+    assert r.interarrival_scv == pytest.approx(scv, rel=1e-9)

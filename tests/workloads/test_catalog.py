@@ -1,0 +1,87 @@
+"""Calibration tests: the catalog must match the paper's Table 1 facts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.catalog import (
+    CTC_RUNTIME_CAP,
+    WORKLOAD_NAMES,
+    c90,
+    ctc,
+    get_workload,
+    j90,
+)
+from repro.workloads.synthetic import half_load_tail_fraction_dist
+
+
+class TestCalibrationTargets:
+    def test_c90_moments(self):
+        d = c90().service_dist
+        assert d.mean == pytest.approx(4562.6, rel=1e-9)
+        assert d.scv == pytest.approx(43.0, rel=1e-9)
+
+    def test_j90_moments(self):
+        d = j90().service_dist
+        assert d.mean == pytest.approx(6538.1, rel=1e-9)
+        assert d.scv == pytest.approx(39.0, rel=1e-9)
+
+    def test_ctc_moments_and_cap(self):
+        d = ctc().service_dist
+        assert d.mean == pytest.approx(4520.0, rel=1e-6)
+        assert d.scv == pytest.approx(3.0, rel=1e-6)
+        assert d.upper <= CTC_RUNTIME_CAP
+
+    def test_job_counts(self):
+        assert c90().n_jobs == 54_962
+        assert j90().n_jobs == 10_240
+        assert ctc().n_jobs == 8_567
+
+
+class TestStructuralFacts:
+    def test_c90_implied_extremes_match_table1(self):
+        """At 55k samples the lognormal's min/max match the paper's Table 1."""
+        d = c90().service_dist
+        n = c90().n_jobs
+        # Expected extreme order statistics: quantiles 1/(n+1), n/(n+1).
+        assert d.ppf(1.0 / (n + 1)) < 5.0  # min of a few seconds
+        assert d.ppf(n / (n + 1.0)) == pytest.approx(2.2e6, rel=0.25)
+
+    def test_c90_half_load_tail(self):
+        """A tiny fraction of the largest jobs carries half the load
+        (paper: 1.3 % for the C90)."""
+        frac = half_load_tail_fraction_dist(c90().service_dist)
+        assert 0.005 < frac < 0.05
+
+    def test_c90_sampled_scv_approaches_target(self):
+        trace = c90().make_trace(load=0.7, n_hosts=2, n_jobs=300_000, rng=0)
+        stats = trace.stats()
+        assert stats.mean_service == pytest.approx(4562.6, rel=0.05)
+        # SCV of a heavy-tailed sample converges slowly; just demand the
+        # right order of magnitude.
+        assert 15.0 < stats.scv < 120.0
+
+    def test_ctc_sample_respects_cap(self):
+        trace = ctc().make_trace(load=0.7, n_hosts=2, n_jobs=20_000, rng=0)
+        assert float(np.max(trace.service_times)) <= CTC_RUNTIME_CAP
+
+    def test_ctc_much_lower_variability_than_c90(self):
+        assert ctc().service_dist.scv < c90().service_dist.scv / 5.0
+
+
+class TestLookup:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_get_workload(self, name):
+        w = get_workload(name)
+        assert w.name == name
+
+    def test_case_insensitive(self):
+        assert get_workload("  C90 ").name == "c90"
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            get_workload("paragon")
+
+    def test_cached_instances(self):
+        assert get_workload("c90") is get_workload("c90")

@@ -1,0 +1,385 @@
+"""Unit and property tests for the service-time distribution library.
+
+The moment machinery here underpins every analytic result in the repo
+(Pollaczek–Khinchine needs E[X^2]/E[X^3], slowdowns need E[1/X]/E[1/X^2],
+SITA needs partial moments), so these tests are deliberately exhaustive:
+closed-form moments vs numerical integration, sampling vs analytic
+moments, partial-moment additivity, CDF/PPF roundtrips, and conditional
+(truncated) views.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+from repro.workloads.distributions import (
+    BoundedPareto,
+    ConditionalDistribution,
+    Deterministic,
+    Empirical,
+    Erlang,
+    Exponential,
+    Hyperexponential,
+    Lognormal,
+    Pareto,
+    Weibull,
+)
+
+# A representative instance of every family, with the moment orders that
+# are finite for it.
+FAMILIES = [
+    pytest.param(BoundedPareto(1.0, 1e5, 1.1), (-2, -1, 0, 1, 2, 3), id="bounded-pareto"),
+    pytest.param(BoundedPareto(2.0, 5e4, 0.5), (-2, -1, 0, 1, 2, 3), id="bp-alpha<1"),
+    pytest.param(BoundedPareto(1.0, 1e4, 2.0), (-2, -1, 0, 1, 2, 3), id="bp-alpha=2"),
+    pytest.param(Pareto(1.0, 2.5), (0, 1, 2), id="pareto"),
+    pytest.param(Exponential(10.0), (0, 1, 2, 3), id="exponential"),
+    pytest.param(
+        Hyperexponential([0.6, 0.4], [5.0, 50.0]), (0, 1, 2, 3), id="hyperexp"
+    ),
+    pytest.param(Erlang(3, 12.0), (-2, -1, 0, 1, 2, 3), id="erlang3"),
+    pytest.param(Lognormal(2.0, 1.5), (-2, -1, 0, 1, 2, 3), id="lognormal"),
+    pytest.param(Weibull(10.0, 0.7), (0, 1, 2, 3), id="weibull-heavy"),
+    pytest.param(Weibull(10.0, 3.0), (-2, -1, 0, 1, 2, 3), id="weibull-light"),
+    pytest.param(Deterministic(7.0), (-2, -1, 0, 1, 2, 3), id="deterministic"),
+    pytest.param(
+        Empirical([1.0, 2.0, 2.0, 5.0, 100.0]), (-2, -1, 0, 1, 2, 3), id="empirical"
+    ),
+]
+
+
+def _numeric_moment(dist, j: float) -> float:
+    """Brute-force E[X^j] as a Stieltjes sum over a fine log-spaced grid.
+
+    ``E[X^j] = Σ x_mid^j · (F(b) − F(a))`` with geometric midpoints — robust
+    even for heavy tails and near-critical moment orders where adaptive
+    quadrature gives up.
+    """
+    lo = max(dist.lower, dist.ppf(1e-13))
+    hi = dist.upper if math.isfinite(dist.upper) else dist.ppf(1.0 - 1e-13)
+    edges = np.exp(np.linspace(math.log(lo) - 1e-12, math.log(hi) + 1e-12, 40_001))
+    cdf = np.array([dist.cdf(x) for x in edges])
+    mids = np.sqrt(edges[:-1] * edges[1:])
+    return float(np.sum(mids**j * np.diff(cdf)))
+
+
+class TestMomentsAgainstQuadrature:
+    @pytest.mark.parametrize("dist,orders", FAMILIES)
+    def test_moment_matches_quadrature(self, dist, orders):
+        for j in orders:
+            if isinstance(dist, (Pareto, Exponential, Hyperexponential, Weibull)) and j > 1:
+                tol = 0.05  # unbounded heavy tails strain the quadrature
+            else:
+                tol = 5e-3
+            analytic = dist.moment(j)
+            numeric = _numeric_moment(dist, j)
+            assert analytic == pytest.approx(numeric, rel=tol), f"j={j}"
+
+    @pytest.mark.parametrize("dist,orders", FAMILIES)
+    def test_zeroth_moment_is_one(self, dist, orders):
+        assert dist.moment(0) == pytest.approx(1.0, rel=1e-9)
+
+
+class TestMomentsAgainstSampling:
+    @pytest.mark.parametrize("dist,orders", FAMILIES)
+    def test_sample_mean(self, dist, orders):
+        x = dist.sample(200_000, np.random.default_rng(7))
+        assert np.all(x > 0)
+        assert np.mean(x) == pytest.approx(dist.mean, rel=0.1)
+
+    @pytest.mark.parametrize("dist,orders", FAMILIES)
+    def test_sample_within_support(self, dist, orders):
+        x = dist.sample(10_000, np.random.default_rng(8))
+        assert np.min(x) >= dist.lower - 1e-9
+        assert np.max(x) <= dist.upper + 1e-9
+
+    def test_sample_inverse_moment(self):
+        d = BoundedPareto(1.0, 1e4, 1.2)
+        x = d.sample(400_000, np.random.default_rng(9))
+        assert np.mean(1.0 / x) == pytest.approx(d.inverse_moment, rel=0.02)
+
+
+class TestDerivedMoments:
+    @pytest.mark.parametrize("dist,orders", FAMILIES)
+    def test_variance_consistency(self, dist, orders):
+        if 2 in orders:
+            assert dist.variance == pytest.approx(
+                dist.moment(2) - dist.moment(1) ** 2, rel=1e-9, abs=1e-12
+            )
+
+    def test_exponential_scv_is_one(self):
+        assert Exponential(3.0).scv == pytest.approx(1.0)
+
+    def test_erlang_scv(self):
+        assert Erlang(4, 10.0).scv == pytest.approx(0.25)
+
+    def test_deterministic_scv_is_zero(self):
+        assert Deterministic(5.0).scv == pytest.approx(0.0, abs=1e-12)
+
+    def test_hyperexponential_scv_above_one(self):
+        assert Hyperexponential([0.5, 0.5], [1.0, 100.0]).scv > 1.0
+
+
+class TestPartialMoments:
+    @pytest.mark.parametrize("dist,orders", FAMILIES)
+    def test_full_range_equals_moment(self, dist, orders):
+        for j in orders:
+            full = dist.partial_moment(j, 0.0, math.inf if math.isinf(dist.upper) else dist.upper)
+            assert full == pytest.approx(dist.moment(j), rel=1e-9)
+
+    @pytest.mark.parametrize("dist,orders", FAMILIES)
+    def test_additivity(self, dist, orders):
+        mid = dist.ppf(0.6)
+        hi = dist.upper if not math.isinf(dist.upper) else dist.ppf(1 - 1e-13)
+        for j in orders:
+            left = dist.partial_moment(j, 0.0, mid)
+            right = dist.partial_moment(j, mid, hi)
+            total = dist.partial_moment(j, 0.0, hi)
+            assert left + right == pytest.approx(total, rel=1e-8)
+
+    @pytest.mark.parametrize("dist,orders", FAMILIES)
+    def test_empty_interval_is_zero(self, dist, orders):
+        assert dist.partial_moment(1, 5.0, 5.0) == 0.0
+        assert dist.partial_moment(1, 7.0, 3.0) == 0.0
+
+    @pytest.mark.parametrize("dist,orders", FAMILIES)
+    def test_prob_interval_matches_cdf(self, dist, orders):
+        a = dist.ppf(0.25)
+        b = dist.ppf(0.8)
+        assert dist.prob_interval(a, b) == pytest.approx(
+            dist.cdf(b) - dist.cdf(a), rel=1e-6, abs=1e-9
+        )
+
+    def test_load_fraction_monotone(self):
+        d = BoundedPareto(1.0, 1e5, 1.1)
+        cs = np.logspace(0.1, 5.0, 20)
+        fracs = [d.load_fraction(0.0, c) for c in cs]
+        assert all(b >= a for a, b in zip(fracs, fracs[1:]))
+        assert fracs[-1] == pytest.approx(1.0, rel=1e-9)
+
+
+class TestCdfPpf:
+    @pytest.mark.parametrize("dist,orders", FAMILIES)
+    def test_roundtrip(self, dist, orders):
+        if isinstance(dist, (Deterministic, Empirical)):
+            pytest.skip("atomic distributions don't invert pointwise")
+        for q in (0.01, 0.25, 0.5, 0.9, 0.999):
+            assert dist.cdf(dist.ppf(q)) == pytest.approx(q, rel=1e-6, abs=1e-9)
+
+    @pytest.mark.parametrize("dist,orders", FAMILIES)
+    def test_cdf_monotone_and_bounded(self, dist, orders):
+        grid = [dist.ppf(q) for q in np.linspace(0.001, 0.999, 25)]
+        vals = [dist.cdf(x) for x in grid]
+        assert all(0.0 <= v <= 1.0 for v in vals)
+        assert all(b >= a - 1e-12 for a, b in zip(vals, vals[1:]))
+
+    @pytest.mark.parametrize("dist,orders", FAMILIES)
+    def test_cdf_below_support_is_zero(self, dist, orders):
+        assert dist.cdf(dist.lower * 0.5 if dist.lower > 0 else -1.0) == 0.0
+
+
+class TestConditional:
+    def test_conditional_moments_match_resampling(self):
+        d = BoundedPareto(1.0, 1e5, 1.1)
+        lo, hi = 10.0, 1000.0
+        cond = d.conditional(lo, hi)
+        x = d.sample(500_000, np.random.default_rng(3))
+        sel = x[(x > lo) & (x <= hi)]
+        assert cond.mean == pytest.approx(np.mean(sel), rel=0.02)
+        assert cond.moment(2) == pytest.approx(np.mean(sel**2), rel=0.05)
+
+    def test_conditional_support(self):
+        d = Lognormal(1.0, 1.0)
+        cond = d.conditional(2.0, 8.0)
+        x = cond.sample(5_000, np.random.default_rng(4))
+        assert np.all(x > 2.0)
+        assert np.all(x <= 8.0)
+
+    def test_conditional_mass_sums(self):
+        d = Exponential(5.0)
+        c = d.ppf(0.5)
+        below = d.conditional(0.0, c)
+        above = d.conditional(c, math.inf)
+        total = (
+            d.prob_interval(0, c) * below.mean
+            + d.prob_interval(c, math.inf) * above.mean
+        )
+        assert total == pytest.approx(d.mean, rel=1e-9)
+
+    def test_zero_mass_interval_raises(self):
+        d = BoundedPareto(1.0, 100.0, 1.0)
+        with pytest.raises(ValueError):
+            ConditionalDistribution(d, 200.0, 300.0)
+
+    def test_conditional_cdf_endpoints(self):
+        d = Lognormal(0.0, 1.0)
+        cond = d.conditional(1.0, 5.0)
+        assert cond.cdf(1.0) == 0.0
+        assert cond.cdf(5.0) == 1.0
+        assert 0.0 < cond.cdf(2.0) < 1.0
+
+    def test_rejection_sampling_matches_ppf_path(self):
+        # Interval holding most of the mass uses the rejection fast path.
+        d = Lognormal(0.0, 1.0)
+        cond = d.conditional(0.0, d.ppf(0.95))
+        x = cond.sample(100_000, np.random.default_rng(5))
+        assert np.mean(x) == pytest.approx(cond.mean, rel=0.02)
+
+
+class TestValidation:
+    def test_bounded_pareto_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            BoundedPareto(0.0, 10.0, 1.0)
+        with pytest.raises(ValueError):
+            BoundedPareto(10.0, 5.0, 1.0)
+        with pytest.raises(ValueError):
+            BoundedPareto(1.0, 10.0, -1.0)
+
+    def test_pareto_moment_divergence(self):
+        d = Pareto(1.0, 1.5)
+        with pytest.raises(ValueError):
+            d.moment(2)
+
+    def test_exponential_inverse_moment_divergence(self):
+        with pytest.raises(ValueError):
+            Exponential(1.0).moment(-1)
+
+    def test_hyperexp_probs_must_sum(self):
+        with pytest.raises(ValueError):
+            Hyperexponential([0.5, 0.4], [1.0, 2.0])
+
+    def test_empirical_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Empirical([1.0, 0.0])
+
+    def test_erlang_rejects_fractional_n(self):
+        with pytest.raises(ValueError):
+            Erlang(1.5, 1.0)
+
+
+class TestFits:
+    @pytest.mark.parametrize(
+        "mean,scv,upper",
+        [(4562.6, 43.0, 2.2e6), (100.0, 10.0, 1e5), (50.0, 2.0, 5e3)],
+    )
+    def test_bounded_pareto_fit(self, mean, scv, upper):
+        d = BoundedPareto.fit(mean, scv, upper)
+        assert d.mean == pytest.approx(mean, rel=1e-6)
+        assert d.scv == pytest.approx(scv, rel=1e-6)
+        assert d.p == upper
+
+    @pytest.mark.parametrize(
+        "lower,mean,scv", [(1.0, 4562.6, 43.0), (30.0, 4520.0, 3.0), (1.0, 100.0, 5.0)]
+    )
+    def test_bounded_pareto_fit_min(self, lower, mean, scv):
+        d = BoundedPareto.fit_min(lower, mean, scv)
+        assert d.k == lower
+        assert d.mean == pytest.approx(mean, rel=1e-6)
+        assert d.scv == pytest.approx(scv, rel=1e-6)
+
+    def test_bounded_pareto_fit_infeasible(self):
+        # SCV beyond the family's reach for this upper/mean ratio.
+        with pytest.raises(ValueError, match="reachable SCV"):
+            BoundedPareto.fit(mean=4520.0, scv=4.5, upper=43_200.0)
+
+    def test_lognormal_fit(self):
+        d = Lognormal.fit(1000.0, 25.0)
+        assert d.mean == pytest.approx(1000.0, rel=1e-9)
+        assert d.scv == pytest.approx(25.0, rel=1e-9)
+
+    def test_lognormal_fit_truncated(self):
+        d = Lognormal.fit_truncated(4520.0, 3.0, 43_200.0)
+        assert d.mean == pytest.approx(4520.0, rel=1e-6)
+        assert d.scv == pytest.approx(3.0, rel=1e-6)
+        assert d.upper <= 43_200.0
+
+    def test_h2_balanced_fit(self):
+        d = Hyperexponential.fit_balanced(100.0, 16.0)
+        assert d.mean == pytest.approx(100.0, rel=1e-9)
+        assert d.scv == pytest.approx(16.0, rel=1e-9)
+
+    def test_h2_fit_rejects_low_scv(self):
+        with pytest.raises(ValueError):
+            Hyperexponential.fit_balanced(1.0, 0.5)
+
+
+class TestEmpirical:
+    def test_moments_are_sample_moments(self, rng):
+        vals = rng.lognormal(1.0, 1.0, size=500)
+        e = Empirical(vals)
+        assert e.mean == pytest.approx(np.mean(vals))
+        assert e.moment(2) == pytest.approx(np.mean(vals**2))
+        assert e.inverse_moment == pytest.approx(np.mean(1.0 / vals))
+
+    def test_partial_moment_counts(self):
+        e = Empirical([1.0, 2.0, 3.0, 4.0])
+        assert e.prob_interval(1.5, 3.5) == pytest.approx(0.5)
+        assert e.partial_moment(1, 1.5, 3.5) == pytest.approx((2 + 3) / 4)
+
+    def test_conditional_slices(self):
+        e = Empirical([1.0, 2.0, 3.0, 4.0, 5.0])
+        c = e.conditional(1.5, 4.5)
+        assert c.n == 3
+        assert c.mean == pytest.approx(3.0)
+
+    def test_ppf_is_order_statistic(self):
+        e = Empirical([10.0, 20.0, 30.0, 40.0])
+        assert e.ppf(0.0) == 10.0
+        assert e.ppf(0.25) == 10.0
+        assert e.ppf(0.26) == 20.0
+        assert e.ppf(1.0) == 40.0
+
+
+# ----------------------------------------------------------------------
+# property-based tests
+# ----------------------------------------------------------------------
+
+bp_params = st.tuples(
+    st.floats(0.1, 100.0),
+    st.floats(2.0, 1e6),
+    st.floats(0.2, 5.0),
+).filter(lambda t: t[1] > t[0] * 2)
+
+
+@given(bp_params, st.floats(-2.0, 3.0))
+@settings(max_examples=60, deadline=None)
+def test_bp_partial_moment_never_exceeds_moment(params, j):
+    k, p_mult, alpha = params
+    d = BoundedPareto(k, k * p_mult if k * p_mult > k else k * 2, alpha)
+    mid = d.ppf(0.7)
+    partial = d.partial_moment(j, d.k, mid)
+    assert partial <= d.moment(j) * (1 + 1e-9)
+    assert partial >= 0.0
+
+
+@given(bp_params, st.floats(0.001, 0.999))
+@settings(max_examples=60, deadline=None)
+def test_bp_cdf_ppf_roundtrip(params, q):
+    k, p_mult, alpha = params
+    d = BoundedPareto(k, k * p_mult if k * p_mult > k else k * 2, alpha)
+    assert d.cdf(d.ppf(q)) == pytest.approx(q, rel=1e-6, abs=1e-9)
+
+
+@given(
+    st.lists(st.floats(0.01, 1e6), min_size=1, max_size=200),
+)
+@settings(max_examples=60, deadline=None)
+def test_empirical_mean_bounds(values):
+    e = Empirical(values)
+    assert e.lower * (1 - 1e-12) <= e.mean <= e.upper * (1 + 1e-12)
+    assert e.cdf(e.upper) == pytest.approx(1.0)
+    assert e.prob_interval(0.0, e.upper) == pytest.approx(1.0)
+
+
+@given(st.floats(0.05, 0.95), st.floats(1.5, 60.0))
+@settings(max_examples=40, deadline=None)
+def test_lognormal_fit_roundtrip(mean_scale, scv):
+    mean = mean_scale * 1000.0
+    d = Lognormal.fit(mean, scv)
+    assert d.mean == pytest.approx(mean, rel=1e-9)
+    assert d.scv == pytest.approx(scv, rel=1e-9)

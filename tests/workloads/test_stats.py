@@ -1,0 +1,89 @@
+"""Tests for the workload characterisation statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.arrivals import MMPP2Arrivals, PoissonArrivals
+from repro.workloads.catalog import c90
+from repro.workloads.stats import (
+    autocorrelation,
+    index_of_dispersion,
+    scv,
+    trace_characterisation,
+)
+
+
+class TestScv:
+    def test_constant_is_zero(self):
+        assert scv(np.full(100, 7.0)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_exponential_is_one(self, rng):
+        assert scv(rng.exponential(5.0, 200_000)) == pytest.approx(1.0, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scv([1.0])
+
+
+class TestAutocorrelation:
+    def test_iid_near_zero(self, rng):
+        x = rng.lognormal(0.0, 1.0, 50_000)
+        assert abs(autocorrelation(x, 1)) < 0.03
+
+    def test_sessions_positive(self):
+        trace = c90().make_trace(
+            load=0.5, n_hosts=2, n_jobs=20_000, rng=3, session_length=16.0
+        )
+        assert autocorrelation(trace.service_times, 1) > 0.3
+
+    def test_alternating_negative(self):
+        x = np.tile([1.0, 10.0], 500)
+        assert autocorrelation(x, 1) < -0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            autocorrelation([1.0, 2.0], 5)
+        with pytest.raises(ValueError):
+            autocorrelation([1.0, 2.0, 3.0], 0)
+
+
+class TestIndexOfDispersion:
+    def test_poisson_near_one(self, rng):
+        arrivals = np.cumsum(PoissonArrivals(1.0).sample_interarrivals(100_000, rng))
+        assert index_of_dispersion(arrivals) == pytest.approx(1.0, abs=0.15)
+
+    def test_mmpp_much_larger(self, rng):
+        m = MMPP2Arrivals.bursty(1.0, peak_to_mean=8.0, quiet_fraction=0.9)
+        arrivals = np.cumsum(m.sample_interarrivals(100_000, rng))
+        assert index_of_dispersion(arrivals) > 3.0
+
+    def test_deterministic_near_zero(self):
+        arrivals = np.arange(1000, dtype=float)
+        assert index_of_dispersion(arrivals) < 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            index_of_dispersion(np.arange(5, dtype=float))
+        with pytest.raises(ValueError):
+            index_of_dispersion(np.arange(100, dtype=float), window=1000.0)
+
+
+class TestTraceCharacterisation:
+    def test_keys_and_values(self):
+        trace = c90().make_trace(load=0.6, n_hosts=2, n_jobs=10_000, rng=4)
+        ch = trace_characterisation(trace)
+        assert ch["n_jobs"] == 10_000
+        assert ch["interarrival_scv"] == pytest.approx(1.0, abs=0.2)  # Poisson
+        assert ch["dispersion"] == pytest.approx(1.0, abs=0.3)
+        assert abs(ch["service_acf_lag1"]) < 0.1  # i.i.d. sizes
+
+    def test_detects_sessions(self):
+        iid = c90().make_trace(load=0.6, n_hosts=2, n_jobs=10_000, rng=4)
+        sess = c90().make_trace(
+            load=0.6, n_hosts=2, n_jobs=10_000, rng=4, session_length=16.0
+        )
+        a = trace_characterisation(iid)["service_acf_lag1"]
+        b = trace_characterisation(sess)["service_acf_lag1"]
+        assert b > a + 0.2

@@ -1,0 +1,114 @@
+"""Tests for synthetic workload generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.arrivals import RenewalArrivals
+from repro.workloads.distributions import BoundedPareto, Lognormal
+from repro.workloads.synthetic import (
+    SyntheticWorkload,
+    half_load_tail_fraction,
+    half_load_tail_fraction_dist,
+)
+
+
+@pytest.fixture
+def workload() -> SyntheticWorkload:
+    return SyntheticWorkload(
+        name="test", service_dist=Lognormal.fit(100.0, 9.0), n_jobs=5000
+    )
+
+
+class TestHalfLoadTailFraction:
+    def test_uniform_sizes(self):
+        # Equal sizes: half the load is exactly half the jobs.
+        assert half_load_tail_fraction(np.full(100, 3.0)) == pytest.approx(0.5)
+
+    def test_one_giant(self):
+        # One job carries > half the total load by itself.
+        sizes = np.array([1.0] * 99 + [1000.0])
+        assert half_load_tail_fraction(sizes) == pytest.approx(0.01)
+
+    def test_empirical_matches_analytic(self, rng):
+        d = BoundedPareto(1.0, 1e5, 1.1)
+        x = d.sample(400_000, rng)
+        emp = half_load_tail_fraction(x)
+        ana = half_load_tail_fraction_dist(d)
+        assert emp == pytest.approx(ana, rel=0.35)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            half_load_tail_fraction(np.array([]))
+
+    def test_heavier_tail_smaller_fraction(self):
+        light = half_load_tail_fraction_dist(Lognormal.fit(100.0, 2.0))
+        heavy = half_load_tail_fraction_dist(Lognormal.fit(100.0, 50.0))
+        assert heavy < light
+
+
+class TestMakeTrace:
+    def test_reproducible(self, workload):
+        t1 = workload.make_trace(load=0.5, n_hosts=2, rng=42)
+        t2 = workload.make_trace(load=0.5, n_hosts=2, rng=42)
+        np.testing.assert_array_equal(t1.service_times, t2.service_times)
+        np.testing.assert_array_equal(t1.arrival_times, t2.arrival_times)
+
+    def test_different_seeds_differ(self, workload):
+        t1 = workload.make_trace(load=0.5, n_hosts=2, rng=1)
+        t2 = workload.make_trace(load=0.5, n_hosts=2, rng=2)
+        assert not np.array_equal(t1.service_times, t2.service_times)
+
+    def test_offered_load_close_to_target(self, workload):
+        t = workload.make_trace(load=0.6, n_hosts=2, n_jobs=60_000, rng=0)
+        assert t.offered_load(2) == pytest.approx(0.6, rel=0.05)
+
+    def test_job_count_override(self, workload):
+        t = workload.make_trace(load=0.5, n_hosts=2, n_jobs=123, rng=0)
+        assert t.n_jobs == 123
+
+    def test_default_job_count(self, workload):
+        assert workload.make_trace(load=0.5, n_hosts=2, rng=0).n_jobs == 5000
+
+    def test_custom_arrivals_rescaled(self, workload):
+        bursty = RenewalArrivals.bursty(rate=123.0, scv=16.0)
+        t = workload.make_trace(
+            load=0.5, n_hosts=2, n_jobs=40_000, rng=0, arrivals=bursty
+        )
+        # The process must be rescaled to the load-implied rate, not 123/s.
+        assert t.offered_load(2) == pytest.approx(0.5, rel=0.15)
+
+    def test_rejects_bad_job_count(self, workload):
+        with pytest.raises(ValueError):
+            workload.make_trace(load=0.5, n_hosts=2, n_jobs=0, rng=0)
+
+    def test_with_jobs(self, workload):
+        assert workload.with_jobs(77).n_jobs == 77
+        assert workload.n_jobs == 5000  # frozen original untouched
+
+    def test_table1_row_keys(self, workload):
+        row = workload.table1_row()
+        assert row["mean_service"] == pytest.approx(100.0)
+        assert 0.0 < row["half_load_tail_fraction"] < 0.5
+
+
+class TestArrivalProcessHelper:
+    def test_rate_matches_load(self, workload):
+        proc = workload.arrival_process(load=0.6, n_hosts=4)
+        assert proc.rate == pytest.approx(0.6 * 4 / workload.service_dist.mean)
+
+    def test_sessionized_marginal_close(self, rng):
+        w = SyntheticWorkload(
+            name="t", service_dist=Lognormal.fit(100.0, 9.0), n_jobs=40_000
+        )
+        iid = w.make_trace(load=0.5, n_hosts=2, rng=1)
+        sess = w.make_trace(load=0.5, n_hosts=2, rng=1, session_length=8.0)
+        # Sessions reorder and jitter sizes but keep the marginal mean.
+        assert np.mean(sess.service_times) == pytest.approx(
+            np.mean(iid.service_times), rel=0.25
+        )
+
+    def test_session_length_validation(self, workload):
+        with pytest.raises(ValueError):
+            workload.make_trace(load=0.5, n_hosts=2, rng=0, session_length=0.5)
