@@ -11,6 +11,10 @@ Subcommands
     Print the calibrated workload catalog (Table-1 style).
 ``repro synth c90 out.swf --load 0.7 --hosts 2 --jobs 50000``
     Materialise a synthetic trace as a Standard Workload Format file.
+``repro lint [paths] [--select/--ignore RULES] [--format text|json]``
+    Run the simulation-correctness linter (rules SIM001–SIM007, see
+    ``docs/DEVTOOLS.md``); exits 0 clean, 1 with findings, 2 on usage
+    errors.
 """
 
 from __future__ import annotations
@@ -62,6 +66,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("workloads", help="print the calibrated workload catalog")
+
+    lint_p = sub.add_parser(
+        "lint", help="run the simulation-correctness linter (SIM001–SIM007)"
+    )
+    from .devtools.lint import add_lint_arguments
+
+    add_lint_arguments(lint_p)
 
     synth_p = sub.add_parser("synth", help="write a synthetic trace as SWF")
     synth_p.add_argument("workload", choices=WORKLOAD_NAMES)
@@ -133,6 +144,11 @@ def main(argv: list[str] | None = None) -> int:
             for k, v in row.items():
                 print(f"    {k:24s} {v:.6g}")
         return 0
+
+    if args.command == "lint":
+        from .devtools.lint import run_from_args
+
+        return run_from_args(args)
 
     if args.command == "synth":
         w = get_workload(args.workload)

@@ -1,0 +1,45 @@
+"""Developer tooling for simulation correctness.
+
+The results in this repository are only as trustworthy as the simulator
+is deterministic, so the conventions that guarantee determinism (seeded
+``np.random.Generator`` everywhere, simulated-time-only clocks, the
+``Policy`` reset protocol) are enforced by tooling rather than left to
+docstrings:
+
+* a **static pass** — ``repro lint`` / :func:`lint_paths` — runs the
+  AST rules ``SIM001`` … ``SIM007`` (:mod:`repro.devtools.rules`);
+* a **runtime pass** — ``Simulator(strict=True)`` or the
+  ``REPRO_SIM_STRICT=1`` environment hook — asserts engine invariants
+  after every event (see :mod:`repro.sim.engine`).
+
+Both are zero-dependency (stdlib :mod:`ast` only) and documented rule by
+rule in ``docs/DEVTOOLS.md``.
+"""
+
+from .findings import Finding, format_findings, sort_findings
+from .lint import (
+    LintError,
+    collect_files,
+    lint_paths,
+    lint_source,
+    load_config,
+    resolve_selection,
+)
+from .rules import RULES, LintContext, Rule, register, run_rules
+
+__all__ = [
+    "Finding",
+    "format_findings",
+    "sort_findings",
+    "LintError",
+    "collect_files",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "resolve_selection",
+    "RULES",
+    "LintContext",
+    "Rule",
+    "register",
+    "run_rules",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.devtools`` — alias for the linter CLI."""
+
+import sys
+
+from .lint import main
+
+sys.exit(main())

@@ -1,0 +1,52 @@
+"""Lint findings: the data carried from a rule to the reporter.
+
+A :class:`Finding` is one diagnostic — rule ID, location, message — and
+this module owns everything about *presenting* findings (stable sort
+order, ``text`` and ``json`` renderings, summary lines) so the rules in
+:mod:`repro.devtools.rules` stay pure detectors.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterable
+
+__all__ = ["Finding", "format_findings", "sort_findings"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint diagnostic, ordered by (path, line, col, rule)."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """GCC-style one-liner: ``path:line:col: RULE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def sort_findings(findings: Iterable[Finding]) -> list[Finding]:
+    """Deterministic report order: by file, then position, then rule ID."""
+    return sorted(findings)
+
+
+def format_findings(findings: Iterable[Finding], fmt: str = "text") -> str:
+    """Render ``findings`` as ``text`` (one per line + summary) or ``json``.
+
+    The JSON form is a list of objects with ``path``/``line``/``col``/
+    ``rule``/``message`` keys — stable enough for CI annotations.
+    """
+    ordered = sort_findings(findings)
+    if fmt == "json":
+        return json.dumps([asdict(f) for f in ordered], indent=2)
+    if fmt != "text":
+        raise ValueError(f"unknown format {fmt!r} (expected 'text' or 'json')")
+    lines = [f.render() for f in ordered]
+    n = len(ordered)
+    lines.append(f"{n} finding{'s' if n != 1 else ''}" if n else "all clean")
+    return "\n".join(lines)

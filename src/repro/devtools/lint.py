@@ -1,0 +1,326 @@
+"""The lint runner: file discovery, rule selection, ``noqa``, reporting.
+
+Usage::
+
+    repro lint [paths] [--select SIM001,SIM004] [--ignore SIM006] \\
+               [--format text|json]
+    python -m repro.devtools.lint src/repro tests
+
+Exit codes follow the classic contract: **0** clean, **1** findings,
+**2** usage error (unknown rule ID, unreadable path).
+
+Selection defaults come from ``[tool.repro.lint]`` in ``pyproject.toml``
+(``select``/``ignore`` arrays), so CI and developers run the same
+configuration with no flags.  A finding can be suppressed at a single
+line with the pragma::
+
+    risky_line()  # repro: noqa SIM003
+    other_line()  # repro: noqa SIM001, SIM005
+    anything()    # repro: noqa          (suppresses every rule)
+
+Suppressions are deliberate exemptions — each should be justifiable in
+review, which is exactly why they are spelled in full at the site.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .findings import Finding, format_findings, sort_findings
+from .rules import RULES, LintContext, run_rules
+
+__all__ = [
+    "LintError",
+    "add_lint_arguments",
+    "collect_files",
+    "lint_source",
+    "lint_paths",
+    "load_config",
+    "resolve_selection",
+    "run_from_args",
+    "main",
+]
+
+#: rule id reserved for files the parser rejects (always reported).
+SYNTAX_RULE = "SIM000"
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\b\s*:?\s*(?P<rules>[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*)?",
+)
+
+
+class LintError(Exception):
+    """A usage error (unknown rule, unreadable path) — CLI exit code 2."""
+
+
+# ---------------------------------------------------------------------------
+# selection
+# ---------------------------------------------------------------------------
+
+
+def _validate_rules(ids: Iterable[str], origin: str) -> set[str]:
+    out = set()
+    for rule_id in ids:
+        rid = rule_id.strip().upper()
+        if not rid:
+            continue
+        if rid not in RULES:
+            known = ", ".join(sorted(RULES))
+            raise LintError(f"unknown rule {rid!r} in {origin} (known: {known})")
+        out.add(rid)
+    return out
+
+
+def resolve_selection(
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> set[str]:
+    """Final rule-ID set: ``select`` (default: all rules) minus ``ignore``."""
+    chosen = _validate_rules(select, "--select") if select else set(RULES)
+    chosen -= _validate_rules(ignore, "--ignore") if ignore else set()
+    return chosen
+
+
+# ---------------------------------------------------------------------------
+# pyproject configuration
+# ---------------------------------------------------------------------------
+
+
+def _parse_toml_minimal(text: str) -> dict:
+    """Tiny fallback for Python < 3.11 (no :mod:`tomllib`).
+
+    Understands just enough TOML to read ``[tool.repro.lint]``: string
+    arrays, possibly spanning lines.  Good enough because that section is
+    under our control; real TOML parsing is used when available.
+    """
+    section: dict[str, list[str]] = {}
+    in_section = False
+    pending_key: str | None = None
+    pending_val = ""
+    for raw in text.splitlines():
+        line = raw.strip()
+        if pending_key is not None:
+            pending_val += " " + line
+            if line.endswith("]"):
+                section[pending_key] = list(ast.literal_eval(pending_val.strip()))
+                pending_key = None
+            continue
+        if line.startswith("["):
+            in_section = line == "[tool.repro.lint]"
+            continue
+        if not in_section or "=" not in line or line.startswith("#"):
+            continue
+        key, _, val = line.partition("=")
+        key, val = key.strip(), val.strip()
+        if val.startswith("[") and not val.endswith("]"):
+            pending_key, pending_val = key, val
+            continue
+        try:
+            section[key] = ast.literal_eval(val)
+        except (ValueError, SyntaxError):
+            continue
+    return {"tool": {"repro": {"lint": section}}} if section else {}
+
+
+def load_config(start: Path | None = None) -> dict:
+    """``[tool.repro.lint]`` from the nearest ``pyproject.toml``, or ``{}``.
+
+    Searches ``start`` (default: cwd) and its parents, mirroring how the
+    established tools locate their configuration.
+    """
+    here = (start or Path.cwd()).resolve()
+    candidates = [here, *here.parents] if here.is_dir() else list(here.parents)
+    for directory in candidates:
+        pyproject = directory / "pyproject.toml"
+        if not pyproject.is_file():
+            continue
+        text = pyproject.read_text(encoding="utf-8")
+        try:
+            import tomllib
+
+            data = tomllib.loads(text)
+        except ModuleNotFoundError:  # Python 3.10
+            data = _parse_toml_minimal(text)
+        except Exception:
+            return {}
+        return data.get("tool", {}).get("repro", {}).get("lint", {})
+    return {}
+
+
+# ---------------------------------------------------------------------------
+# linting
+# ---------------------------------------------------------------------------
+
+
+def _noqa_map(source: str) -> dict[int, set[str] | None]:
+    """Line number → suppressed rule IDs (``None`` = every rule)."""
+    out: dict[int, set[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "#" not in line:
+            continue
+        match = _NOQA_RE.search(line)
+        if not match:
+            continue
+        rules = match.group("rules")
+        if rules:
+            out[lineno] = {r.strip().upper() for r in rules.split(",")}
+        else:
+            out[lineno] = None
+    return out
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint one source string as if it lived at ``path``.
+
+    ``path`` drives the path-scoped rules: pass a virtual location like
+    ``src/repro/sim/x.py`` to lint a snippet under ``sim`` conventions.
+    """
+    chosen = resolve_selection(select, ignore)
+    ctx = LintContext.for_path(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule=SYNTAX_RULE,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    findings = run_rules(tree, ctx, select=chosen)
+    suppressed = _noqa_map(source)
+    kept = []
+    for finding in findings:
+        if finding.line in suppressed:
+            rules_at_line = suppressed[finding.line]
+            if rules_at_line is None or finding.rule in rules_at_line:
+                continue
+        kept.append(finding)
+    return sort_findings(kept)
+
+
+def collect_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            out.update(p.rglob("*.py"))
+        elif p.is_file():
+            out.add(p)
+        else:
+            raise LintError(f"no such file or directory: {entry}")
+    return sorted(out)
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths``."""
+    findings: list[Finding] = []
+    for file in collect_files(paths):
+        source = file.read_text(encoding="utf-8")
+        findings.extend(lint_source(source, path=str(file), select=select, ignore=ignore))
+    return sort_findings(findings)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def _split_ids(value: str) -> list[str]:
+    return [part for part in re.split(r"[,\s]+", value) if part]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register the lint options on ``parser`` (shared with ``repro lint``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select",
+        type=_split_ids,
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule IDs to run (default: all, or pyproject)",
+    )
+    parser.add_argument(
+        "--ignore",
+        type=_split_ids,
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule IDs to skip",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule ID with its summary and exit",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="simulation-correctness linter for the repro codebase",
+    )
+    add_lint_arguments(parser)
+    return parser
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the process exit code."""
+    if args.list_rules:
+        for rule_id in sorted(RULES):
+            print(f"{rule_id}  {RULES[rule_id].summary}")
+        return 0
+    # CLI selection flags replace the pyproject defaults wholesale — mixing
+    # a command-line --select with a configured ignore list surprises.
+    if args.select is not None or args.ignore is not None:
+        select, ignore = args.select, args.ignore
+    else:
+        config = load_config(Path(args.paths[0]).resolve() if args.paths else None)
+        select, ignore = config.get("select"), config.get("ignore")
+    try:
+        findings = lint_paths(args.paths, select=select, ignore=ignore)
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(format_findings(findings, fmt=args.format))
+    except BrokenPipeError:
+        # the reader (e.g. `| head`) went away; the exit code still stands.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 1 if findings else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    return run_from_args(build_parser().parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,666 @@
+"""Domain-specific lint rules for discrete-event-simulation code.
+
+Each rule is a small :class:`ast.NodeVisitor` with a stable ID
+(``SIM001`` …) registered in :data:`RULES` — the same
+register-by-declaration idiom as the policy registry in
+:mod:`repro.core.policies`.  Rules are *pure detectors*: they receive a
+:class:`LintContext` (where the file lives inside the package), walk the
+tree, and append :class:`~repro.devtools.findings.Finding` objects.  All
+reporting, selection and ``noqa`` suppression lives in
+:mod:`repro.devtools.lint`.
+
+The rules encode the repo's simulation-correctness conventions (see
+``docs/DEVTOOLS.md`` for rationale and examples):
+
+========  ============================================================
+SIM001    no global NumPy RNG / stdlib ``random`` — pass a Generator
+SIM002    no wall-clock reads inside ``sim``/``core``/``analysis``
+SIM003    no ``==``/``!=`` on simulated-time or size float expressions
+SIM004    ``Policy`` subclasses set ``kind``/``name``, chain ``reset``
+SIM005    no mutable default arguments
+SIM006    public library module must declare ``__all__``
+SIM007    no bare ``except:`` / silently swallowed ``Exception``
+========  ============================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePath
+from typing import ClassVar
+
+from .findings import Finding
+
+__all__ = ["LintContext", "Rule", "RULES", "register", "run_rules"]
+
+
+# ---------------------------------------------------------------------------
+# context and registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LintContext:
+    """Where a file sits relative to the ``repro`` package.
+
+    ``module`` is the dotted-path tuple inside ``src/repro`` (e.g.
+    ``("sim", "engine")``), or ``None`` for files outside the library —
+    path-scoped rules key off it.  Virtual paths work too: tests lint
+    snippets under invented paths like ``src/repro/sim/x.py``.
+    """
+
+    path: str
+    module: tuple[str, ...] | None = field(default=None)
+
+    @classmethod
+    def for_path(cls, path: str | PurePath) -> "LintContext":
+        parts = PurePath(path).parts
+        module: tuple[str, ...] | None = None
+        for i in range(len(parts) - 1):
+            if parts[i] == "src" and parts[i + 1] == "repro":
+                module = tuple(p[:-3] if p.endswith(".py") else p for p in parts[i + 2 :])
+                break
+        return cls(path=str(path), module=module)
+
+    @property
+    def in_library(self) -> bool:
+        """True when the file is part of the ``repro`` package."""
+        return self.module is not None
+
+    def in_subpackage(self, *names: str) -> bool:
+        """True when the file lives under one of the named subpackages."""
+        return self.module is not None and len(self.module) > 0 and self.module[0] in names
+
+    @property
+    def is_private_module(self) -> bool:
+        return self.module is not None and bool(self.module) and self.module[-1].startswith("_")
+
+
+RULES: dict[str, type["Rule"]] = {}
+
+
+def register(cls: type["Rule"]) -> type["Rule"]:
+    """Class decorator adding a rule to the global registry by its ID."""
+    if not getattr(cls, "id", None):
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in RULES:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    RULES[cls.id] = cls
+    return cls
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for lint rules: visit the tree, collect findings."""
+
+    #: stable identifier, e.g. ``"SIM001"`` — used by --select/--ignore/noqa.
+    id: ClassVar[str] = ""
+    #: one-line description shown in ``repro lint --explain``-style docs.
+    summary: ClassVar[str] = ""
+
+    def __init__(self, ctx: LintContext) -> None:
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+
+    def applies(self) -> bool:
+        """Whether this rule is active for the file in ``self.ctx``."""
+        return True
+
+    def check_module(self, tree: ast.Module) -> None:
+        """Entry point; default walks the tree with the visitor methods."""
+        self.visit(tree)
+
+    def report(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=self.ctx.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                rule=self.id,
+                message=message,
+            )
+        )
+
+
+def run_rules(
+    tree: ast.Module, ctx: LintContext, select: set[str] | None = None
+) -> list[Finding]:
+    """Run every registered (selected) rule over ``tree``."""
+    findings: list[Finding] = []
+    for rule_id in sorted(RULES):
+        if select is not None and rule_id not in select:
+            continue
+        rule = RULES[rule_id](ctx)
+        if not rule.applies():
+            continue
+        rule.check_module(tree)
+        findings.extend(rule.findings)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# shared AST helpers
+# ---------------------------------------------------------------------------
+
+
+def _dotted(node: ast.AST) -> tuple[str, ...]:
+    """``a.b.c`` → ``("a", "b", "c")``; empty tuple for anything fancier."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+def _terminal_name(node: ast.AST) -> str | None:
+    """The identifier a value expression 'ends' in (attribute tail or name)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_abstract(cls: ast.ClassDef) -> bool:
+    """Heuristic: ABC base or any ``@abstractmethod`` in the body."""
+    for base in cls.bases:
+        if _dotted(base)[-1:] in (("ABC",), ("ABCMeta",)):
+            return True
+    for kw in cls.keywords:
+        if kw.arg == "metaclass" and _dotted(kw.value)[-1:] == ("ABCMeta",):
+            return True
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for deco in stmt.decorator_list:
+                if _dotted(deco)[-1:] in (("abstractmethod",), ("abstractproperty",)):
+                    return True
+    return False
+
+
+def _snake_words(name: str) -> set[str]:
+    return {w for w in name.lower().split("_") if w}
+
+
+# ---------------------------------------------------------------------------
+# SIM001 — global randomness
+# ---------------------------------------------------------------------------
+
+
+#: module-level samplers/state of the legacy ``numpy.random`` API.  The
+#: Generator constructors (``default_rng``, ``Generator``, bit generators,
+#: ``SeedSequence``) are the *approved* API and stay allowed.
+_NP_RANDOM_BANNED = frozenset(
+    {
+        "seed", "rand", "randn", "random", "ranf", "random_sample", "sample",
+        "choice", "randint", "random_integers", "shuffle", "permutation",
+        "uniform", "normal", "exponential", "standard_normal",
+        "standard_exponential", "lognormal", "pareto", "weibull", "gamma",
+        "beta", "poisson", "binomial", "geometric", "bytes", "get_state",
+        "set_state", "RandomState",
+    }
+)
+
+
+@register
+class GlobalRandomRule(Rule):
+    """SIM001: global RNG state breaks seeded reproducibility.
+
+    Every stochastic routine must take an explicit
+    ``numpy.random.Generator`` (see ``workloads.distributions._as_rng``)
+    so that equal seeds give equal traces on every backend.  The legacy
+    ``np.random.*`` module functions and stdlib ``random`` mutate hidden
+    global state and are banned inside ``src/repro`` — except in
+    ``workloads/distributions.py``, which owns RNG coercion.
+    """
+
+    id = "SIM001"
+    summary = "global NumPy RNG or stdlib random; pass an np.random.Generator"
+
+    def applies(self) -> bool:
+        return self.ctx.in_library and self.ctx.module != ("workloads", "distributions")
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("random."):
+                self.report(node, "stdlib `random` is banned; use np.random.Generator")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            self.report(node, "stdlib `random` is banned; use np.random.Generator")
+        elif node.module in ("numpy.random", "numpy"):
+            for alias in node.names:
+                if alias.name in _NP_RANDOM_BANNED:
+                    self.report(
+                        node,
+                        f"global `numpy.random.{alias.name}` is banned; "
+                        "take an np.random.Generator parameter",
+                    )
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        dotted = _dotted(node)
+        if (
+            len(dotted) >= 3
+            and dotted[0] in ("np", "numpy")
+            and dotted[1] == "random"
+            and dotted[2] in _NP_RANDOM_BANNED
+        ):
+            self.report(
+                node,
+                f"global `{'.'.join(dotted[:3])}` mutates hidden RNG state; "
+                "take an np.random.Generator parameter",
+            )
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# SIM002 — wall-clock reads in simulation code
+# ---------------------------------------------------------------------------
+
+
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        ("time", "time"), ("time", "time_ns"), ("time", "perf_counter"),
+        ("time", "perf_counter_ns"), ("time", "monotonic"),
+        ("time", "monotonic_ns"), ("time", "process_time"),
+        ("datetime", "now"), ("datetime", "utcnow"), ("datetime", "today"),
+        ("datetime", "datetime", "now"), ("datetime", "datetime", "utcnow"),
+        ("datetime", "datetime", "today"), ("datetime", "date", "today"),
+    }
+)
+_WALL_CLOCK_NAMES = frozenset(
+    {"perf_counter", "perf_counter_ns", "monotonic", "process_time", "time_ns"}
+)
+
+
+@register
+class WallClockRule(Rule):
+    """SIM002: simulation logic must read only simulated time.
+
+    Inside ``sim/``, ``core/`` and ``analysis/`` the only clock is
+    ``Simulator.now``; a wall-clock read makes results depend on host
+    speed and destroys replay determinism.  Benchmarks, experiments and
+    the CLI legitimately time themselves and are exempt.
+    """
+
+    id = "SIM002"
+    summary = "wall-clock call in simulation code; use the simulated clock"
+
+    def applies(self) -> bool:
+        return self.ctx.in_subpackage("sim", "core", "analysis")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted in _WALL_CLOCK_CALLS or dotted[-2:] in _WALL_CLOCK_CALLS:
+            self.report(
+                node,
+                f"wall-clock call `{'.'.join(dotted)}()` in simulation code; "
+                "use the simulated clock (Simulator.now)",
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in _WALL_CLOCK_NAMES or alias.name == "time":
+                    self.report(
+                        node,
+                        f"importing wall-clock `time.{alias.name}` in simulation "
+                        "code; use the simulated clock (Simulator.now)",
+                    )
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# SIM003 — exact float equality on simulated time / size expressions
+# ---------------------------------------------------------------------------
+
+
+_TIMEY_WORDS = frozenset(
+    {
+        "now", "time", "times", "arrival", "arrivals", "completion",
+        "completions", "cutoff", "cutoffs", "deadline", "epoch",
+    }
+)
+#: attribute tails that are *about* a quantity, not the quantity itself.
+_METADATA_TAILS = frozenset({"shape", "size", "ndim", "dtype", "name", "kind", "index"})
+
+
+@register
+class FloatTimeEqualityRule(Rule):
+    """SIM003: ``==``/``!=`` on simulated-time floats is a latent bug.
+
+    Times and cutoffs are accumulated floats; exact comparison silently
+    flips once long horizons lose absolute precision.  Use
+    ``math.isclose`` or an explicit tolerance.  The check is a name
+    heuristic (``now``, ``*_time``, ``arrival*``, ``completion*``,
+    ``cutoff*`` …) on either side of the comparison; boolean and
+    metadata comparisons (``.shape``, counts) are skipped.
+    """
+
+    id = "SIM003"
+    summary = "exact ==/!= on a simulated-time float; use math.isclose"
+
+    def applies(self) -> bool:
+        return self.ctx.in_library
+
+    def _timeyness(self, node: ast.AST) -> str | None:
+        """Return the offending identifier when ``node`` looks time-valued."""
+        if isinstance(node, (ast.Compare, ast.BoolOp)):
+            return None  # boolean, not a time value
+        if isinstance(node, ast.BinOp):
+            return self._timeyness(node.left) or self._timeyness(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self._timeyness(node.operand)
+        if isinstance(node, ast.Subscript):
+            return self._timeyness(node.value)
+        if isinstance(node, ast.Call):
+            # max(now, t) etc. — look through well-known float combinators.
+            if _terminal_name(node.func) in ("max", "min", "abs", "float", "sum"):
+                for arg in node.args:
+                    hit = self._timeyness(arg)
+                    if hit:
+                        return hit
+            return None
+        name = _terminal_name(node)
+        if name is None or name in _METADATA_TAILS:
+            return None
+        words = _snake_words(name)
+        if words & _TIMEY_WORDS and not words & {"n", "num", "count", "idx", "i"}:
+            return name
+        return None
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            sides = (left, right)
+            if any(
+                isinstance(s, ast.Constant) and (s.value is None or isinstance(s.value, (str, bool)))
+                for s in sides
+            ):
+                continue  # sentinel / label comparison, not arithmetic
+            hit = self._timeyness(left) or self._timeyness(right)
+            if hit:
+                self.report(
+                    node,
+                    f"exact float comparison on `{hit}`; simulated times lose "
+                    "precision — use math.isclose or an explicit tolerance",
+                )
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# SIM004 — Policy protocol conformance
+# ---------------------------------------------------------------------------
+
+
+_POLICY_BASES = frozenset({"Policy", "StaticPolicy", "StatePolicy"})
+
+
+@register
+class PolicyProtocolRule(Rule):
+    """SIM004: every concrete ``Policy`` subclass must honour the protocol.
+
+    The simulators duck-type against :class:`repro.core.policies.base.Policy`:
+    a policy missing ``kind`` is rejected at runtime deep inside a sweep,
+    one missing ``name`` mislabels result rows, and a ``reset`` override
+    that forgets ``super().reset(...)`` leaves ``n_hosts``/``rng`` stale
+    from the previous run — the classic source of cross-run contamination.
+    """
+
+    id = "SIM004"
+    summary = "Policy subclass missing kind/name or reset() without super().reset()"
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        base_tails = {_dotted(b)[-1] for b in node.bases if _dotted(b)}
+        policy_bases = base_tails & _POLICY_BASES
+        if policy_bases:
+            self._check_policy(node, policy_bases)
+        self.generic_visit(node)
+
+    # -- helpers ---------------------------------------------------------
+
+    @staticmethod
+    def _class_assigns(node: ast.ClassDef, attr: str) -> bool:
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == attr for t in stmt.targets
+            ):
+                return True
+            if (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.target.id == attr
+                and stmt.value is not None
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _init_assigns_self(node: ast.ClassDef, attr: str) -> bool:
+        for stmt in node.body:
+            if isinstance(stmt, ast.FunctionDef) and stmt.name == "__init__":
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, ast.Assign):
+                        for t in sub.targets:
+                            if (
+                                isinstance(t, ast.Attribute)
+                                and t.attr == attr
+                                and isinstance(t.value, ast.Name)
+                                and t.value.id == "self"
+                            ):
+                                return True
+        return False
+
+    @staticmethod
+    def _defines(node: ast.ClassDef, *names: str) -> bool:
+        return any(
+            isinstance(stmt, ast.FunctionDef) and stmt.name in names
+            for stmt in node.body
+        )
+
+    @staticmethod
+    def _calls_super_reset(fn: ast.FunctionDef) -> bool:
+        for sub in ast.walk(fn):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "reset"
+                and isinstance(sub.func.value, ast.Call)
+                and _dotted(sub.func.value.func) == ("super",)
+            ):
+                return True
+        return False
+
+    def _check_policy(self, node: ast.ClassDef, policy_bases: set[str]) -> None:
+        abstract = _is_abstract(node)
+        # ``kind``: required when deriving straight from the abstract root.
+        if "Policy" in policy_bases and not abstract:
+            if not self._class_assigns(node, "kind"):
+                self.report(
+                    node,
+                    f"Policy subclass `{node.name}` does not set `kind` "
+                    "(\"static\"/\"state\"/\"central\"/\"tags\"); the server "
+                    "will reject it at dispatch time",
+                )
+        # ``name``: required for concrete dispatchers (they label results).
+        concrete = self._defines(node, "__init__", "choose_host", "assign_batch")
+        if (
+            not abstract
+            and (policy_bases & {"StaticPolicy", "StatePolicy"} or concrete)
+            and not self._class_assigns(node, "name")
+            and not self._init_assigns_self(node, "name")
+        ):
+            self.report(
+                node,
+                f"Policy subclass `{node.name}` does not set `name`; result "
+                "rows and plots would fall back to the class name",
+            )
+        # ``reset`` overrides must chain to the base for n_hosts/rng setup.
+        for stmt in node.body:
+            if (
+                isinstance(stmt, ast.FunctionDef)
+                and stmt.name == "reset"
+                and not self._calls_super_reset(stmt)
+            ):
+                self.report(
+                    stmt,
+                    f"`{node.name}.reset` overrides Policy.reset without "
+                    "calling super().reset(n_hosts, rng); stale state leaks "
+                    "across runs",
+                )
+
+
+# ---------------------------------------------------------------------------
+# SIM005 — mutable default arguments
+# ---------------------------------------------------------------------------
+
+
+_MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "bytearray", "deque", "defaultdict", "Counter", "OrderedDict"}
+)
+
+
+@register
+class MutableDefaultRule(Rule):
+    """SIM005: a mutable default is shared across every call.
+
+    One simulation run appending to a default ``[]`` poisons the next —
+    precisely the cross-run contamination the reset protocol exists to
+    prevent.  Default to ``None`` and construct inside the function.
+    """
+
+    id = "SIM005"
+    summary = "mutable default argument; default to None and build inside"
+
+    def _check_defaults(self, node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda) -> None:
+        args = node.args
+        for default in [*args.defaults, *args.kw_defaults]:
+            if default is None:
+                continue
+            bad = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and _terminal_name(default.func) in _MUTABLE_FACTORIES
+            )
+            if bad:
+                self.report(default, "mutable default argument is shared across calls")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# SIM006 — public modules declare __all__
+# ---------------------------------------------------------------------------
+
+
+@register
+class MissingAllRule(Rule):
+    """SIM006: every public library module declares its API.
+
+    ``__all__`` is how the package states which names are contract and
+    which are implementation detail — the cross-validation story depends
+    on tests reaching only the supported surface.  Private modules
+    (``_foo.py``, ``__main__.py``) are exempt.
+    """
+
+    id = "SIM006"
+    summary = "public module in src/repro without __all__"
+
+    def applies(self) -> bool:
+        return self.ctx.in_library and not self.ctx.is_private_module
+
+    def check_module(self, tree: ast.Module) -> None:
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__all__" for t in stmt.targets
+            ):
+                return
+            if (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.target.id == "__all__"
+            ):
+                return
+        self.findings.append(
+            Finding(
+                path=self.ctx.path,
+                line=1,
+                col=1,
+                rule=self.id,
+                message="public module does not declare __all__",
+            )
+        )
+
+
+# ---------------------------------------------------------------------------
+# SIM007 — swallowed exceptions
+# ---------------------------------------------------------------------------
+
+
+@register
+class ExceptionSwallowRule(Rule):
+    """SIM007: a swallowed exception turns a simulator bug into bad data.
+
+    ``SimulationError`` and the strict-mode invariant violations exist to
+    stop a run the moment state is inconsistent; a bare ``except:`` or an
+    ``except Exception: pass`` converts that hard stop into silently
+    wrong results — the worst failure mode a simulation study has.
+    """
+
+    id = "SIM007"
+    summary = "bare except / except Exception with a pass-only body"
+
+    @staticmethod
+    def _is_noop_body(body: list[ast.stmt]) -> bool:
+        return all(
+            isinstance(stmt, ast.Pass)
+            or isinstance(stmt, ast.Continue)
+            or (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis
+            )
+            for stmt in body
+        )
+
+    @staticmethod
+    def _catches_everything(handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:
+            return True
+        types = (
+            handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+        )
+        return any(
+            _dotted(t)[-1:] in (("Exception",), ("BaseException",)) for t in types
+        )
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(
+                node,
+                "bare `except:` also catches KeyboardInterrupt/SystemExit; "
+                "catch a specific exception",
+            )
+        elif self._catches_everything(node) and self._is_noop_body(node.body):
+            self.report(
+                node,
+                "`except Exception` with a pass-only body swallows simulator "
+                "errors; handle or re-raise",
+            )
+        self.generic_visit(node)

@@ -10,7 +10,7 @@ text table (what the benchmark harness prints) or CSV.
 from __future__ import annotations
 
 import csv
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable
 

@@ -1,6 +1,6 @@
 """Simulation substrate: event engine, distributed server, fast kernels."""
 
-from .engine import SimulationError, Simulator
+from .engine import InvariantViolation, SimulationError, Simulator, strict_from_env
 from .events import Event, EventHandle
 from .fast import fcfs_waits, lwl_waits, shortest_queue_waits, simulate_fast
 from .host import FCFSHost
@@ -10,8 +10,10 @@ from .runner import simulate
 from .server import DistributedServer, SystemState
 
 __all__ = [
+    "InvariantViolation",
     "SimulationError",
     "Simulator",
+    "strict_from_env",
     "Event",
     "EventHandle",
     "fcfs_waits",

@@ -13,15 +13,35 @@ from __future__ import annotations
 
 import heapq
 import math
+import os
 from typing import Any, Callable
 
 from .events import Event, EventHandle
 
-__all__ = ["Simulator", "SimulationError"]
+__all__ = ["Simulator", "SimulationError", "InvariantViolation", "strict_from_env"]
 
 
 class SimulationError(RuntimeError):
     """Raised on engine misuse (e.g. scheduling in the past)."""
+
+
+class InvariantViolation(SimulationError):
+    """A strict-mode sanity check failed: simulator state is inconsistent.
+
+    Raised by the engine's monotone-clock check and by any invariant
+    checker registered via :meth:`Simulator.add_invariant_checker` (the
+    :class:`~repro.sim.server.DistributedServer` installs one asserting
+    work conservation, FCFS order and job conservation).  This always
+    indicates a simulator bug, never a modelling choice — results from a
+    run that raised it must be discarded.
+    """
+
+
+def strict_from_env() -> bool:
+    """Whether ``REPRO_SIM_STRICT`` asks for strict mode (default: off)."""
+    return os.environ.get("REPRO_SIM_STRICT", "").strip().lower() not in (
+        "", "0", "false", "no", "off",
+    )
 
 
 class Simulator:
@@ -35,18 +55,49 @@ class Simulator:
         sim.now            # -> 1.5
 
     Callbacks may schedule further events; time only moves forward.
+
+    Parameters
+    ----------
+    strict:
+        Run the **sanitizer**: re-verify clock monotonicity on every event
+        and call the registered invariant checkers after each callback,
+        raising :class:`InvariantViolation` on the first inconsistency.
+        ``None`` (the default) defers to the ``REPRO_SIM_STRICT``
+        environment variable, so an entire test suite can be swept under
+        the sanitizer without code changes::
+
+            REPRO_SIM_STRICT=1 python -m pytest
     """
 
-    def __init__(self) -> None:
+    def __init__(self, strict: bool | None = None) -> None:
         self._heap: list[Event] = []
         self._seq = 0
         self._now = 0.0
         self._events_processed = 0
+        self._strict = strict_from_env() if strict is None else bool(strict)
+        self._checkers: list[Callable[["Simulator"], None]] = []
 
     @property
     def now(self) -> float:
         """Current simulated time."""
         return self._now
+
+    @property
+    def strict(self) -> bool:
+        """Whether the per-event sanitizer is active."""
+        return self._strict
+
+    def add_invariant_checker(self, checker: Callable[["Simulator"], None]) -> None:
+        """Register ``checker(sim)`` to run after every event in strict mode.
+
+        Checkers are the pluggable half of the sanitizer: components that
+        own state (e.g. the distributed server) register a function that
+        raises :class:`InvariantViolation` when that state is
+        inconsistent.  Registration is allowed in any mode but checkers
+        only run when :attr:`strict` is true, so the non-strict hot path
+        pays nothing.
+        """
+        self._checkers.append(checker)
 
     @property
     def events_processed(self) -> int:
@@ -87,9 +138,17 @@ class Simulator:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            if self._strict and event.time < self._now:
+                raise InvariantViolation(
+                    f"clock would move backwards: event at {event.time} "
+                    f"popped at simulated time {self._now}"
+                )
             self._now = event.time
             self._events_processed += 1
             event.callback(*event.args)
+            if self._strict:
+                for checker in self._checkers:
+                    checker(self)
             return True
         return False
 

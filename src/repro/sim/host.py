@@ -92,6 +92,11 @@ class FCFSHost:
         return max(0.0, self._virtual_completion - now)
 
     @property
+    def virtual_completion(self) -> float:
+        """Unclamped instant the host goes idle (strict-mode inspection)."""
+        return self._virtual_completion
+
+    @property
     def idle(self) -> bool:
         return self.running is None and not self.queue
 

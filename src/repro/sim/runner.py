@@ -27,6 +27,7 @@ def simulate(
     size_estimates: np.ndarray | None = None,
     backend: str = "auto",
     host_speeds=None,
+    strict: bool | None = None,
 ) -> SimulationResult:
     """Replay ``trace`` through ``policy`` on ``n_hosts`` hosts.
 
@@ -48,9 +49,20 @@ def simulate(
         ``"auto"`` (fast kernels when possible), ``"fast"`` (force; an
         error for policies only the event engine implements) or
         ``"event"`` (force the reference engine).
+    strict:
+        ``True`` runs the event engine with the runtime sanitizer,
+        asserting the engine invariants after every event (see
+        docs/DEVTOOLS.md).  Implies ``backend="event"``; combining with
+        ``backend="fast"`` is an error.  ``None`` (default) defers to
+        the ``REPRO_SIM_STRICT`` environment variable whenever the
+        event engine is selected.
     """
     if backend not in ("auto", "fast", "event"):
         raise ValueError(f"unknown backend {backend!r}")
+    if strict and backend == "fast":
+        raise ValueError(
+            "strict mode runs on the event engine; drop backend='fast'"
+        )
     rng = _as_rng(rng)
     kind = getattr(policy, "kind", None)
     import numpy as _np
@@ -61,8 +73,10 @@ def simulate(
     needs_event = (
         kind == "central" and getattr(policy, "discipline", "fcfs") != "fcfs"
     ) or (hetero and kind == "central")
-    if backend == "event" or (backend == "auto" and needs_event):
-        server = DistributedServer(n_hosts, policy, rng, host_speeds=host_speeds)
+    if backend == "event" or strict or (backend == "auto" and needs_event):
+        server = DistributedServer(
+            n_hosts, policy, rng, host_speeds=host_speeds, strict=strict
+        )
         return server.run_trace(trace, size_estimates=size_estimates)
     return simulate_fast(
         trace, policy, n_hosts, rng=rng, size_estimates=size_estimates,

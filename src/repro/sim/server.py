@@ -30,7 +30,7 @@ import numpy as np
 
 from ..workloads.distributions import _as_rng
 from ..workloads.traces import Trace
-from .engine import Simulator
+from .engine import InvariantViolation, Simulator
 from .host import FCFSHost
 from .jobs import Job
 from .metrics import SimulationResult
@@ -75,6 +75,14 @@ class DistributedServer:
         A task assignment policy (see module docstring for the protocol).
     rng:
         Seed or generator for any randomness inside the policy.
+    strict:
+        Run under the engine sanitizer: after every event the server
+        re-asserts monotone clock, non-negative remaining work, FCFS
+        order per host and conservation of jobs (arrived = queued +
+        running + completed), raising
+        :class:`~repro.sim.engine.InvariantViolation` on the first
+        breach.  ``None`` defers to the ``REPRO_SIM_STRICT`` environment
+        variable (see :func:`~repro.sim.engine.strict_from_env`).
     """
 
     def __init__(
@@ -83,6 +91,7 @@ class DistributedServer:
         policy,
         rng: np.random.Generator | int | None = None,
         host_speeds=None,
+        strict: bool | None = None,
     ) -> None:
         if n_hosts < 1:
             raise ValueError(f"n_hosts must be >= 1, got {n_hosts}")
@@ -112,7 +121,7 @@ class DistributedServer:
         self.host_speeds = speeds
         self.policy = policy
         self.rng = _as_rng(rng)
-        self.sim = Simulator()
+        self.sim = Simulator(strict=strict)
         limits = [math.inf] * n_hosts
         on_eviction = None
         if kind == "tags":
@@ -132,6 +141,9 @@ class DistributedServer:
         self.state = SystemState(self)
         self.central_queue: deque[Job] = deque()
         self._completed: list[Job] = []
+        self._n_arrived = 0
+        if self.sim.strict:
+            self.sim.add_invariant_checker(self._check_invariants)
         policy.reset(n_hosts, self.rng)
 
     # ------------------------------------------------------------------
@@ -139,6 +151,7 @@ class DistributedServer:
     # ------------------------------------------------------------------
 
     def _handle_arrival(self, job: Job) -> None:
+        self._n_arrived += 1
         kind = self.policy.kind
         if kind == "central":
             self.central_queue.append(job)
@@ -181,6 +194,53 @@ class DistributedServer:
                 return
             if host.idle:
                 host.submit(self._pop_central())
+
+    # ------------------------------------------------------------------
+    # strict-mode sanitizer
+    # ------------------------------------------------------------------
+
+    def _check_invariants(self, sim: Simulator) -> None:
+        """Assert server-level invariants; called after every event.
+
+        Runs only under ``strict`` mode (the engine never calls checkers
+        otherwise).  Checks, in order:
+
+        1. *non-negative remaining work*: a busy host's virtual completion
+           time is never in the past (up to float tolerance on long
+           horizons);
+        2. *FCFS order per host*: jobs wait in the order they were
+           dispatched — arrival (or, under TAGS, eviction) order equals
+           job-index order on every backlog;
+        3. *conservation of jobs*: every arrival is queued, running or
+           completed — nothing is lost or duplicated.
+        """
+        now = sim.now
+        tol = 1e-9 * (1.0 + abs(now))
+        in_system = 0
+        for host in self.hosts:
+            if host.running is not None and host.virtual_completion < now - tol:
+                raise InvariantViolation(
+                    f"host {host.host_id} is busy with job "
+                    f"{host.running.index} but its virtual completion "
+                    f"{host.virtual_completion} is before now={now}"
+                )
+            prev = -1
+            for queued in host.queue:
+                if queued.index <= prev:
+                    raise InvariantViolation(
+                        f"host {host.host_id} queue is out of FCFS order: "
+                        f"job {queued.index} waits behind job {prev}"
+                    )
+                prev = queued.index
+            in_system += host.n_in_system
+        accounted = in_system + len(self.central_queue) + len(self._completed)
+        if accounted != self._n_arrived:
+            raise InvariantViolation(
+                f"job conservation broken at t={now}: {self._n_arrived} "
+                f"arrived but {accounted} accounted for "
+                f"({in_system} on hosts, {len(self.central_queue)} central, "
+                f"{len(self._completed)} completed)"
+            )
 
     # ------------------------------------------------------------------
     # driving

@@ -13,7 +13,6 @@ from repro.core.policies import (
 )
 from repro.sim.fast import estimated_lwl_waits, lwl_waits
 from repro.sim.runner import simulate
-from repro.workloads.catalog import c90
 from repro.workloads.traces import Trace
 
 

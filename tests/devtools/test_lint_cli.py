@@ -1,0 +1,127 @@
+"""CLI contract for ``repro lint`` / ``python -m repro.devtools.lint``.
+
+Covers rule selection flags, the JSON report format, the documented exit
+codes (0 clean / 1 findings / 2 usage error), and configuration pickup
+from ``[tool.repro.lint]`` in ``pyproject.toml``.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.devtools.lint import main as lint_main
+
+CLEAN = "__all__ = []\nX = 1\n"
+DIRTY = "import random\n\n\ndef f(acc=[]):\n    acc.append(1)\n"
+
+
+@pytest.fixture
+def tree(tmp_path: Path) -> Path:
+    """A fake package tree with one clean and one dirty module."""
+    pkg = tmp_path / "src" / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    (pkg / "clean.py").write_text(CLEAN)
+    (pkg / "dirty.py").write_text(DIRTY)
+    return tmp_path
+
+
+def test_exit_zero_on_clean_file(tree, capsys):
+    target = tree / "src" / "repro" / "sim" / "clean.py"
+    assert lint_main([str(target)]) == 0
+    assert "all clean" in capsys.readouterr().out
+
+
+def test_exit_one_with_findings(tree, capsys):
+    target = tree / "src" / "repro" / "sim" / "dirty.py"
+    assert lint_main([str(target)]) == 1
+    out = capsys.readouterr().out
+    assert "SIM001" in out and "SIM005" in out and "SIM006" in out
+
+
+def test_exit_two_on_unknown_rule(tree, capsys):
+    target = tree / "src" / "repro" / "sim" / "dirty.py"
+    assert lint_main([str(target), "--select", "NOPE123"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_exit_two_on_missing_path(tmp_path, capsys):
+    assert lint_main([str(tmp_path / "does-not-exist")]) == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_select_restricts_rules(tree, capsys):
+    target = tree / "src" / "repro" / "sim" / "dirty.py"
+    assert lint_main([str(target), "--select", "SIM005"]) == 1
+    out = capsys.readouterr().out
+    assert "SIM005" in out and "SIM001" not in out and "SIM006" not in out
+
+
+def test_ignore_drops_rules(tree, capsys):
+    target = tree / "src" / "repro" / "sim" / "dirty.py"
+    assert (
+        lint_main([str(target), "--ignore", "SIM001,SIM005,SIM006"]) == 0
+    )
+    assert "all clean" in capsys.readouterr().out
+
+
+def test_json_format_is_parseable_and_stable(tree, capsys):
+    target = tree / "src" / "repro" / "sim" / "dirty.py"
+    assert lint_main([str(target), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert {f["rule"] for f in payload} == {"SIM001", "SIM005", "SIM006"}
+    for item in payload:
+        assert set(item) == {"path", "line", "col", "rule", "message"}
+    # sorted by (path, line, col, rule)
+    keys = [(f["path"], f["line"], f["col"], f["rule"]) for f in payload]
+    assert keys == sorted(keys)
+
+
+def test_directory_argument_recurses(tree, capsys):
+    assert lint_main([str(tree / "src")]) == 1
+    out = capsys.readouterr().out
+    assert "dirty.py" in out and "clean.py" not in out
+
+
+def test_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("SIM001", "SIM007"):
+        assert rule_id in out
+
+
+def test_pyproject_defaults_are_picked_up(tree, capsys):
+    (tree / "pyproject.toml").write_text(
+        '[tool.repro.lint]\nignore = ["SIM001", "SIM005", "SIM006"]\n'
+    )
+    target = tree / "src" / "repro" / "sim" / "dirty.py"
+    assert lint_main([str(target)]) == 0
+    assert "all clean" in capsys.readouterr().out
+    # explicit flags override the config
+    assert lint_main([str(target), "--select", "SIM001"]) == 1
+
+
+def test_repro_cli_lint_subcommand(tree, capsys):
+    target = tree / "src" / "repro" / "sim" / "dirty.py"
+    assert repro_main(["lint", str(target), "--select", "SIM001"]) == 1
+    assert "SIM001" in capsys.readouterr().out
+    assert repro_main(["lint", str(target), "--ignore", "SIM001,SIM005,SIM006"]) == 0
+
+
+def test_python_dash_m_entry_point(tree):
+    """``python -m repro.devtools.lint`` works as documented."""
+    target = tree / "src" / "repro" / "sim" / "dirty.py"
+    src_dir = Path(__file__).resolve().parents[2] / "src"
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.devtools.lint", str(target)],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(src_dir), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 1
+    assert "SIM001" in proc.stdout

@@ -1,0 +1,256 @@
+"""One positive and one negative fixture per lint rule (SIM001–SIM007).
+
+Each fixture is a source snippet linted under a *virtual path*, so the
+path-scoped rules (SIM001/SIM002/SIM003/SIM006) can be exercised as if
+the snippet lived inside ``src/repro``.  The positive snippet must
+trigger exactly its rule; the negative snippet must not trigger it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devtools import RULES, LintContext, lint_source
+from repro.devtools.lint import SYNTAX_RULE
+
+SIM_PATH = "src/repro/sim/fixture.py"
+CORE_PATH = "src/repro/core/fixture.py"
+LIB_PATH = "src/repro/fixture.py"
+
+#: rule id -> (positive snippet, path, negative snippet, path)
+FIXTURES: dict[str, tuple[str, str, str, str]] = {
+    "SIM001": (
+        "import numpy as np\n"
+        "__all__ = []\n"
+        "def sample():\n"
+        "    np.random.seed(0)\n"
+        "    return np.random.rand(10)\n",
+        SIM_PATH,
+        "import numpy as np\n"
+        "__all__ = []\n"
+        "def sample(rng: np.random.Generator):\n"
+        "    return rng.random(10)\n",
+        SIM_PATH,
+    ),
+    "SIM002": (
+        "import time\n"
+        "__all__ = []\n"
+        "def stamp():\n"
+        "    return time.perf_counter()\n",
+        CORE_PATH,
+        "__all__ = []\n"
+        "def stamp(sim):\n"
+        "    return sim.now\n",
+        CORE_PATH,
+    ),
+    "SIM003": (
+        "__all__ = []\n"
+        "def due(job, now):\n"
+        "    return job.completion_time == now\n",
+        SIM_PATH,
+        "import math\n"
+        "__all__ = []\n"
+        "def due(job, now):\n"
+        "    return math.isclose(job.completion_time, now)\n",
+        SIM_PATH,
+    ),
+    "SIM004": (
+        "__all__ = []\n"
+        "class BrokenPolicy(StatePolicy):\n"
+        "    def reset(self, n_hosts, rng):\n"
+        "        self.counter = 0\n",
+        CORE_PATH,
+        "__all__ = []\n"
+        "class GoodPolicy(StatePolicy):\n"
+        "    name = 'good'\n"
+        "    def reset(self, n_hosts, rng):\n"
+        "        super().reset(n_hosts, rng)\n"
+        "        self.counter = 0\n",
+        CORE_PATH,
+    ),
+    "SIM005": (
+        "__all__ = []\n"
+        "def run(trace, completed=[]):\n"
+        "    completed.append(trace)\n",
+        LIB_PATH,
+        "__all__ = []\n"
+        "def run(trace, completed=None):\n"
+        "    completed = [] if completed is None else completed\n",
+        LIB_PATH,
+    ),
+    "SIM006": (
+        "x = 1\n",
+        LIB_PATH,
+        "__all__ = ['x']\nx = 1\n",
+        LIB_PATH,
+    ),
+    "SIM007": (
+        "__all__ = []\n"
+        "def guarded(f):\n"
+        "    try:\n"
+        "        f()\n"
+        "    except Exception:\n"
+        "        pass\n",
+        LIB_PATH,
+        "__all__ = []\n"
+        "def guarded(f):\n"
+        "    try:\n"
+        "        f()\n"
+        "    except ValueError:\n"
+        "        return None\n",
+        LIB_PATH,
+    ),
+}
+
+
+def test_every_registered_rule_has_fixtures():
+    assert set(FIXTURES) == set(RULES)
+
+
+@pytest.mark.parametrize("rule_id", sorted(FIXTURES))
+def test_positive_fixture_triggers_rule(rule_id):
+    source, path, _, _ = FIXTURES[rule_id]
+    hits = [f.rule for f in lint_source(source, path=path)]
+    assert rule_id in hits, f"{rule_id} fixture produced {hits}"
+
+
+@pytest.mark.parametrize("rule_id", sorted(FIXTURES))
+def test_negative_fixture_is_clean(rule_id):
+    _, _, source, path = FIXTURES[rule_id]
+    hits = [f.rule for f in lint_source(source, path=path)]
+    assert rule_id not in hits, f"{rule_id} false positive: {hits}"
+
+
+@pytest.mark.parametrize("rule_id", sorted(FIXTURES))
+def test_findings_carry_location_and_message(rule_id):
+    source, path, _, _ = FIXTURES[rule_id]
+    finding = next(f for f in lint_source(source, path=path) if f.rule == rule_id)
+    assert finding.path == path
+    assert finding.line >= 1 and finding.col >= 1
+    assert finding.message
+    assert finding.render().startswith(f"{path}:{finding.line}:")
+
+
+# ---------------------------------------------------------------------------
+# rule-specific edge cases
+# ---------------------------------------------------------------------------
+
+
+def test_sim001_exempts_distributions_module():
+    source = "import numpy as np\n__all__ = []\nnp.random.seed(0)\n"
+    hits = lint_source(source, path="src/repro/workloads/distributions.py")
+    assert not any(f.rule == "SIM001" for f in hits)
+
+
+def test_sim001_allows_default_rng():
+    source = "import numpy as np\n__all__ = []\nr = np.random.default_rng(3)\n"
+    assert not any(f.rule == "SIM001" for f in lint_source(source, path=SIM_PATH))
+
+
+def test_sim002_inactive_outside_simulation_packages():
+    source = "import time\n__all__ = []\nt0 = time.perf_counter()\n"
+    hits = lint_source(source, path="src/repro/experiments/fixture.py")
+    assert not any(f.rule == "SIM002" for f in hits)
+
+
+def test_sim003_skips_boolean_and_metadata_comparisons():
+    source = (
+        "__all__ = []\n"
+        "flipped = (est <= cutoff) != truly_short\n"
+        "bad_shape = a.shape != b.shape\n"
+        "is_poll = mode == 'time'\n"
+    )
+    assert not any(f.rule == "SIM003" for f in lint_source(source, path=SIM_PATH))
+
+
+def test_sim003_sees_through_arithmetic_and_subscripts():
+    source = "__all__ = []\nhit = arrival_times[0] + delta == cutoff\n"
+    assert any(f.rule == "SIM003" for f in lint_source(source, path=SIM_PATH))
+
+
+def test_sim004_direct_policy_subclass_needs_kind():
+    source = (
+        "__all__ = []\n"
+        "class NoKindPolicy(Policy):\n"
+        "    name = 'x'\n"
+        "    def choose_host(self, job, state):\n"
+        "        return 0\n"
+    )
+    messages = [f.message for f in lint_source(source, path=CORE_PATH) if f.rule == "SIM004"]
+    assert any("kind" in m for m in messages)
+
+
+def test_sim004_skips_abstract_intermediaries():
+    source = (
+        "from abc import abstractmethod\n"
+        "__all__ = []\n"
+        "class Intermediate(Policy):\n"
+        "    kind = 'static'\n"
+        "    @abstractmethod\n"
+        "    def assign_batch(self, sizes, rng): ...\n"
+    )
+    assert not any(f.rule == "SIM004" for f in lint_source(source, path=CORE_PATH))
+
+
+def test_sim007_flags_bare_except_even_with_real_body():
+    source = "__all__ = []\ntry:\n    f()\nexcept:\n    raise ValueError('x')\n"
+    assert any(f.rule == "SIM007" for f in lint_source(source, path=LIB_PATH))
+
+
+def test_syntax_error_reported_as_sim000():
+    findings = lint_source("def broken(:\n", path=LIB_PATH)
+    assert [f.rule for f in findings] == [SYNTAX_RULE]
+
+
+# ---------------------------------------------------------------------------
+# noqa pragmas and selection
+# ---------------------------------------------------------------------------
+
+
+def test_noqa_suppresses_named_rule_only():
+    source = "import random  # repro: noqa SIM001\n"
+    hits = {f.rule for f in lint_source(source, path=SIM_PATH)}
+    assert "SIM001" not in hits
+    assert "SIM006" in hits  # still missing __all__ (reported at line 1)
+
+
+def test_noqa_bare_suppresses_everything_on_the_line():
+    source = "import random  # repro: noqa\n"
+    assert lint_source(source, path=SIM_PATH) == []
+
+
+def test_noqa_list_of_rules():
+    source = "__all__ = []\ndef f(x=[]):  # repro: noqa SIM005, SIM003\n    return x\n"
+    assert lint_source(source, path=LIB_PATH) == []
+
+
+def test_noqa_on_other_line_does_not_leak():
+    source = "# repro: noqa SIM001\n\nimport random\n__all__ = []\n"
+    assert any(f.rule == "SIM001" for f in lint_source(source, path=SIM_PATH))
+
+
+def test_select_and_ignore():
+    source, path, _, _ = FIXTURES["SIM006"]
+    assert any(
+        f.rule == "SIM006" for f in lint_source(source, path=path, select=["SIM006"])
+    )
+    assert lint_source(source, path=path, ignore=["SIM006"]) == []
+    only = lint_source(source, path=path, select=["SIM001"])
+    assert not any(f.rule == "SIM006" for f in only)
+
+
+def test_context_virtual_paths():
+    ctx = LintContext.for_path("src/repro/sim/engine.py")
+    assert ctx.module == ("sim", "engine")
+    assert ctx.in_subpackage("sim", "core")
+    assert not LintContext.for_path("tests/sim/test_engine.py").in_library
+    assert LintContext.for_path("src/repro/__main__.py").is_private_module
+
+
+def test_linter_is_clean_on_its_own_package():
+    from pathlib import Path
+
+    import repro.devtools as devtools
+    from repro.devtools import lint_paths
+
+    assert lint_paths([Path(devtools.__file__).parent]) == []

@@ -14,7 +14,6 @@ from repro.experiments.common import (
     point_seed,
 )
 from repro.workloads.catalog import c90
-from repro.workloads.distributions import Empirical
 
 
 class TestPointSeed:

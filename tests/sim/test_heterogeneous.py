@@ -21,7 +21,6 @@ from repro.sim.runner import simulate
 from repro.sim.server import DistributedServer
 from repro.workloads.catalog import c90
 from repro.workloads.traces import Trace
-from tests.conftest import make_poisson_trace
 
 
 @pytest.fixture(scope="module")

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.sim.metrics import SimulationResult, Summary, batch_means_ci
+from repro.sim.metrics import SimulationResult, batch_means_ci
 
 
 @pytest.fixture

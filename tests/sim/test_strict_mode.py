@@ -1,0 +1,181 @@
+"""The runtime sanitizer: ``Simulator(strict=True)`` / ``REPRO_SIM_STRICT``.
+
+Strict mode re-asserts the engine invariants (monotone clock,
+non-negative remaining work, FCFS order per host, conservation of jobs)
+after every event.  The tests check three things: a healthy simulation is
+*unchanged* by the sanitizer (same per-job waits as both the plain event
+engine and the fast kernels — the repo's load-bearing cross-validation
+scenario), a corrupted simulation is *caught*, and the environment hook
+switches the default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.policies import (
+    CentralQueuePolicy,
+    LeastWorkLeftPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    SITAPolicy,
+    ShortestQueuePolicy,
+    TAGSPolicy,
+)
+from repro.sim import InvariantViolation, Simulator, strict_from_env
+from repro.sim.fast import simulate_fast
+from repro.sim.server import DistributedServer
+from repro.workloads.traces import Trace
+
+POLICIES = [
+    pytest.param(lambda: RandomPolicy(), 3, id="random"),
+    pytest.param(lambda: RoundRobinPolicy(), 3, id="round-robin"),
+    pytest.param(lambda: ShortestQueuePolicy(), 3, id="sq"),
+    pytest.param(lambda: LeastWorkLeftPolicy(), 3, id="lwl"),
+    pytest.param(lambda: CentralQueuePolicy(), 3, id="central"),
+    pytest.param(lambda: SITAPolicy([5.0, 60.0]), 3, id="sita"),
+]
+
+
+def make_trace(n: int = 600, seed: int = 42) -> Trace:
+    rng = np.random.default_rng(seed)
+    arrivals = np.cumsum(rng.exponential(1.0, n))
+    sizes = rng.pareto(1.5, n) + 0.05  # heavy-tailed, like the paper
+    return Trace(arrivals, sizes)
+
+
+@pytest.mark.parametrize("factory,n_hosts", POLICIES)
+def test_strict_engine_matches_fast_kernels(factory, n_hosts):
+    """The existing engine-vs-fast cross-validation, run under strict=True."""
+    trace = make_trace()
+    strict = DistributedServer(n_hosts, factory(), rng=7, strict=True)
+    result = strict.run_trace(trace)
+    fast = simulate_fast(trace, factory(), n_hosts, rng=7)
+    np.testing.assert_allclose(result.wait_times, fast.wait_times, atol=1e-8)
+
+
+@pytest.mark.parametrize("factory,n_hosts", POLICIES)
+def test_strict_mode_does_not_change_results(factory, n_hosts):
+    trace = make_trace(300, seed=3)
+    loose = DistributedServer(n_hosts, factory(), rng=11, strict=False).run_trace(trace)
+    strict = DistributedServer(n_hosts, factory(), rng=11, strict=True).run_trace(trace)
+    np.testing.assert_array_equal(loose.wait_times, strict.wait_times)
+    np.testing.assert_array_equal(loose.host_assignments, strict.host_assignments)
+
+
+def test_strict_tags_with_evictions_passes():
+    trace = make_trace(400, seed=9)
+    cutoff = float(np.quantile(trace.service_times, 0.7))
+    server = DistributedServer(2, TAGSPolicy([cutoff]), rng=1, strict=True)
+    result = server.run_trace(trace)
+    assert result.wasted_work.sum() > 0  # evictions actually happened
+
+
+def test_conservation_violation_is_caught():
+    trace = make_trace(50, seed=5)
+    server = DistributedServer(2, LeastWorkLeftPolicy(), rng=1, strict=True)
+    original = server._handle_arrival
+
+    def double_counting(job):
+        server._n_arrived += 1  # corrupt the books
+        original(job)
+
+    server._handle_arrival = double_counting
+    with pytest.raises(InvariantViolation, match="conservation"):
+        server.run_trace(trace)
+
+
+def test_fcfs_violation_is_caught():
+    trace = make_trace(50, seed=6)
+    server = DistributedServer(2, LeastWorkLeftPolicy(), rng=1, strict=True)
+    original = server._handle_arrival
+    state = {"swapped": False}
+
+    def reorder(job):
+        original(job)
+        host = server.hosts[job.assigned_host]
+        if not state["swapped"] and len(host.queue) >= 2:
+            host.queue.reverse()  # break dispatch order
+            state["swapped"] = True
+
+    server._handle_arrival = reorder
+    with pytest.raises(InvariantViolation, match="FCFS"):
+        server.run_trace(trace)
+
+
+def test_negative_remaining_work_is_caught():
+    trace = make_trace(50, seed=8)
+    server = DistributedServer(2, LeastWorkLeftPolicy(), rng=1, strict=True)
+    original = server._handle_arrival
+
+    def rewind(job):
+        original(job)
+        host = server.hosts[job.assigned_host]
+        host._virtual_completion = server.sim.now - 10.0  # impossible state
+
+    server._handle_arrival = rewind
+    with pytest.raises(InvariantViolation, match="virtual completion"):
+        server.run_trace(trace)
+
+
+def test_engine_monotone_clock_check():
+    sim = Simulator(strict=True)
+    sim.schedule(1.0, lambda: None)
+    sim._now = 5.0  # simulate heap/clock corruption
+    with pytest.raises(InvariantViolation, match="backwards"):
+        sim.step()
+
+
+def test_checkers_not_invoked_when_not_strict():
+    calls = []
+    sim = Simulator(strict=False)
+    sim.add_invariant_checker(lambda s: calls.append(s.now))
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert calls == []
+    assert not sim.strict
+
+
+def test_env_hook_enables_strict(monkeypatch):
+    monkeypatch.delenv("REPRO_SIM_STRICT", raising=False)
+    assert not strict_from_env()
+    assert not Simulator().strict
+    monkeypatch.setenv("REPRO_SIM_STRICT", "1")
+    assert strict_from_env()
+    assert Simulator().strict
+    assert DistributedServer(2, LeastWorkLeftPolicy(), rng=0).sim.strict
+    monkeypatch.setenv("REPRO_SIM_STRICT", "0")
+    assert not Simulator().strict
+    # explicit argument beats the environment
+    monkeypatch.setenv("REPRO_SIM_STRICT", "1")
+    assert not Simulator(strict=False).strict
+
+
+def test_env_hook_runs_checkers_end_to_end(monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_STRICT", "1")
+    trace = make_trace(100, seed=13)
+    server = DistributedServer(2, LeastWorkLeftPolicy(), rng=2)
+    assert server.sim.strict
+    result = server.run_trace(trace)
+    assert result.wait_times.shape == (100,)
+
+
+def test_simulate_strict_passthrough():
+    """simulate(strict=True) forces the event engine with the sanitizer on
+    and still matches the fast kernels exactly."""
+    from repro.sim.runner import simulate
+
+    trace = make_trace(400, seed=7)
+    policy = LeastWorkLeftPolicy()
+    strict = simulate(trace, policy, n_hosts=3, rng=0, strict=True)
+    fast = simulate(trace, policy, n_hosts=3, rng=0, backend="fast")
+    np.testing.assert_allclose(strict.wait_times, fast.wait_times, atol=1e-8)
+
+
+def test_simulate_strict_rejects_fast_backend():
+    from repro.sim.runner import simulate
+
+    trace = make_trace(50, seed=3)
+    with pytest.raises(ValueError, match="strict"):
+        simulate(trace, LeastWorkLeftPolicy(), n_hosts=2, backend="fast", strict=True)

@@ -3,7 +3,6 @@ the quickstart from the package docstring runs."""
 
 from __future__ import annotations
 
-import pytest
 
 import repro
 

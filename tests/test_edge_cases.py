@@ -7,7 +7,6 @@ fails loudly (never silently wrong) or degrades gracefully.
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 import pytest

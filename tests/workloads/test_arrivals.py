@@ -15,7 +15,7 @@ from repro.workloads.arrivals import (
     load_for_rate,
     rate_for_load,
 )
-from repro.workloads.distributions import Exponential, Lognormal
+from repro.workloads.distributions import Exponential
 
 
 class TestRateForLoad:
