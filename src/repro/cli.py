@@ -11,10 +11,17 @@ Subcommands
     Print the calibrated workload catalog (Table-1 style).
 ``repro synth c90 out.swf --load 0.7 --hosts 2 --jobs 50000``
     Materialise a synthetic trace as a Standard Workload Format file.
-``repro lint [paths] [--select/--ignore RULES] [--format text|json]``
-    Run the simulation-correctness linter (rules SIM001–SIM007, see
+``repro lint [paths] [--select/--ignore RULES] [--format text|json|github]``
+    Run the simulation-correctness linter (per-file rules SIM001–SIM007
+    plus whole-program flow rules SIM101–SIM106, see
     ``docs/DEVTOOLS.md``); exits 0 clean, 1 with findings, 2 on usage
     errors.
+``repro audit --experiment fig2_3 [--replays 2] [--scale 0.1]``
+    Replay-divergence determinism audit: run an experiment twice with
+    identical seeds, digest the event stream and every simulation
+    result, report the first divergent event on mismatch, and
+    cross-check the event engine against the fast kernels; exits 0
+    deterministic, 1 divergence, 2 usage error.
 """
 
 from __future__ import annotations
@@ -68,11 +75,19 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("workloads", help="print the calibrated workload catalog")
 
     lint_p = sub.add_parser(
-        "lint", help="run the simulation-correctness linter (SIM001–SIM007)"
+        "lint",
+        help="run the simulation-correctness linter (SIM001–SIM007, SIM101–SIM106)",
     )
     from .devtools.lint import add_lint_arguments
 
     add_lint_arguments(lint_p)
+
+    audit_p = sub.add_parser(
+        "audit", help="replay-divergence determinism audit of an experiment"
+    )
+    from .devtools.audit import add_audit_arguments
+
+    add_audit_arguments(audit_p)
 
     synth_p = sub.add_parser("synth", help="write a synthetic trace as SWF")
     synth_p.add_argument("workload", choices=WORKLOAD_NAMES)
@@ -149,6 +164,11 @@ def main(argv: list[str] | None = None) -> int:
         from .devtools.lint import run_from_args
 
         return run_from_args(args)
+
+    if args.command == "audit":
+        from .devtools.audit import run_from_args as run_audit
+
+        return run_audit(args)
 
     if args.command == "synth":
         w = get_workload(args.workload)

@@ -7,16 +7,30 @@ is deterministic, so the conventions that guarantee determinism (seeded
 docstrings:
 
 * a **static pass** — ``repro lint`` / :func:`lint_paths` — runs the
-  AST rules ``SIM001`` … ``SIM007`` (:mod:`repro.devtools.rules`);
-* a **runtime pass** — ``Simulator(strict=True)`` or the
-  ``REPRO_SIM_STRICT=1`` environment hook — asserts engine invariants
-  after every event (see :mod:`repro.sim.engine`).
+  per-file AST rules ``SIM001`` … ``SIM007``
+  (:mod:`repro.devtools.rules`) plus the whole-program flow rules
+  ``SIM101`` … ``SIM106`` (:mod:`repro.devtools.flow`), which see a
+  project-wide symbol table and call graph
+  (:mod:`repro.devtools.graph`);
+* a **runtime pass**, in two layers — ``Simulator(strict=True)`` or the
+  ``REPRO_SIM_STRICT=1`` environment hook asserts engine invariants
+  after every event (see :mod:`repro.sim.engine`), and ``repro audit``
+  (:mod:`repro.devtools.audit`) replays an experiment with identical
+  seeds, digests the event stream, and reports the first divergent
+  event if two replays disagree.
 
-Both are zero-dependency (stdlib :mod:`ast` only) and documented rule by
-rule in ``docs/DEVTOOLS.md``.
+Everything is zero-dependency (stdlib :mod:`ast` + :mod:`hashlib` only)
+and documented rule by rule in ``docs/DEVTOOLS.md``.
 """
 
 from .findings import Finding, format_findings, sort_findings
+from .graph import (
+    PROJECT_RULES,
+    ProjectGraph,
+    ProjectRule,
+    register_project,
+    run_project_rules,
+)
 from .lint import (
     LintError,
     collect_files,
@@ -38,6 +52,11 @@ __all__ = [
     "load_config",
     "resolve_selection",
     "RULES",
+    "PROJECT_RULES",
+    "ProjectGraph",
+    "ProjectRule",
+    "register_project",
+    "run_project_rules",
     "LintContext",
     "Rule",
     "register",

@@ -35,8 +35,18 @@ def sort_findings(findings: Iterable[Finding]) -> list[Finding]:
     return sorted(findings)
 
 
+def _github_escape(value: str, *, property: bool = False) -> str:
+    """Escape per the workflow-command rules (data vs property encoding)."""
+    out = value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    if property:
+        out = out.replace(":", "%3A").replace(",", "%2C")
+    return out
+
+
 def format_findings(findings: Iterable[Finding], fmt: str = "text") -> str:
-    """Render ``findings`` as ``text`` (one per line + summary) or ``json``.
+    """Render ``findings`` as ``text`` (one per line + summary), ``json``,
+    or ``github`` (Actions ``::error`` workflow commands, which the runner
+    turns into inline PR annotations).
 
     The JSON form is a list of objects with ``path``/``line``/``col``/
     ``rule``/``message`` keys — stable enough for CI annotations.
@@ -44,8 +54,16 @@ def format_findings(findings: Iterable[Finding], fmt: str = "text") -> str:
     ordered = sort_findings(findings)
     if fmt == "json":
         return json.dumps([asdict(f) for f in ordered], indent=2)
+    if fmt == "github":
+        return "\n".join(
+            f"::error file={_github_escape(f.path, property=True)},"
+            f"line={f.line},col={f.col},"
+            f"title={_github_escape(f.rule, property=True)}::"
+            f"{_github_escape(f.message)}"
+            for f in ordered
+        )
     if fmt != "text":
-        raise ValueError(f"unknown format {fmt!r} (expected 'text' or 'json')")
+        raise ValueError(f"unknown format {fmt!r} (expected 'text', 'json' or 'github')")
     lines = [f.render() for f in ordered]
     n = len(ordered)
     lines.append(f"{n} finding{'s' if n != 1 else ''}" if n else "all clean")

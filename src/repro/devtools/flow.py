@@ -1,0 +1,898 @@
+"""Whole-program, flow-sensitive determinism rules (``SIM101`` …).
+
+The per-file rules (SIM001–SIM007) catch local hazards; these rules run
+on the :class:`~repro.devtools.graph.ProjectGraph` and reason about
+*flow* — where seeds come from, which objects share an RNG stream, what
+order data reaches a float accumulator or the event heap in.  Every rule
+guards the same property: **bit-exact deterministic replay**, the ground
+every cross-policy comparison in the paper stands on.
+
+=========  ===========================================================
+SIM101     Generator created without a seed reaching it from any caller
+SIM102     one RNG stream shared across policies/hosts without spawn()
+SIM103     set/dict iteration feeding event scheduling or float sums
+SIM104     order-sensitive ``sum()`` over an unordered collection
+SIM105     event-heap entries without the ``(time, seq)`` tie-breaker
+SIM106     unordered parallel-map results consumed without re-ordering
+=========  ===========================================================
+
+Rationale and examples for each rule live in ``docs/DEVTOOLS.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from .graph import (
+    CallSite,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectGraph,
+    ProjectRule,
+    register_project,
+)
+from .rules import _dotted, _snake_words, _terminal_name
+
+__all__ = [
+    "SharedStreamRule",
+    "UnorderedIterationRule",
+    "UnorderedReductionRule",
+    "UnorderedParallelRule",
+    "UnseededGeneratorRule",
+    "HeapTieBreakRule",
+]
+
+
+# ---------------------------------------------------------------------------
+# shared inference helpers
+# ---------------------------------------------------------------------------
+
+#: fully qualified RNG constructors whose seeding we track.
+_RNG_CTORS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.SeedSequence",
+    }
+)
+#: unresolved fallbacks (``from numpy.random import default_rng`` inside a
+#: snippet the graph cannot resolve, or a project-local coercion wrapper).
+_RNG_CTOR_TAILS = frozenset({"default_rng"})
+
+#: parameter names that conventionally carry a Generator object.
+_RNG_PARAM_WORDS = frozenset({"rng", "generator"})
+
+#: loop axes whose iterations must not share one RNG stream.
+_FANOUT_AXIS_WORDS = frozenset(
+    {
+        "policy", "policies", "host", "hosts", "rep", "reps", "replication",
+        "replications", "replica", "replicas", "seed", "seeds", "worker",
+        "workers", "shard", "shards", "trial", "trials", "backend", "backends",
+    }
+)
+
+#: names that look like simulated-time values (superset of SIM003's list —
+#: heap entries also use start/finish/departure vocabulary).
+_TIMEY_WORDS = frozenset(
+    {
+        "now", "time", "times", "arrival", "arrivals", "completion",
+        "completions", "cutoff", "cutoffs", "deadline", "epoch", "start",
+        "finish", "departure", "depart", "when", "t",
+    }
+)
+
+#: names that look like an integer tie-breaker / submission index.
+_SEQ_WORDS = frozenset(
+    {
+        "seq", "sequence", "idx", "index", "indices", "counter", "count",
+        "tie", "tiebreak", "serial", "id", "uid", "order", "rank",
+        "i", "j", "k", "n",
+    }
+)
+
+#: event-scheduling entry points (engine + host + heap surface).
+_SCHEDULING_TAILS = frozenset({"schedule", "schedule_after", "heappush", "submit"})
+
+
+def _words(name: str | None) -> set[str]:
+    return _snake_words(name) if name else set()
+
+
+def _is_timey(node: ast.AST) -> bool:
+    """Heuristic: does this expression look like a simulated-time value?"""
+    if isinstance(node, ast.BinOp):
+        return _is_timey(node.left) or _is_timey(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _is_timey(node.operand)
+    if isinstance(node, ast.Subscript):
+        return _is_timey(node.value)
+    if isinstance(node, ast.Call):
+        if _terminal_name(node.func) in ("max", "min", "abs", "float"):
+            return any(_is_timey(a) for a in node.args)
+        return False
+    return bool(_words(_terminal_name(node)) & _TIMEY_WORDS)
+
+
+def _is_seqish(node: ast.AST) -> bool:
+    """Heuristic: does this expression look like an integer tie-breaker?"""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, int) and not isinstance(node.value, bool)
+    if isinstance(node, ast.UnaryOp):
+        return _is_seqish(node.operand)
+    if isinstance(node, ast.Call) and _terminal_name(node.func) in ("int", "next", "len"):
+        return True
+    return bool(_words(_terminal_name(node)) & _SEQ_WORDS)
+
+
+def _target_names(target: ast.AST) -> set[str]:
+    """All plain names bound by an assignment/loop target."""
+    names: set[str] = set()
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+    return names
+
+
+def _unit_nodes(unit: ast.AST, *, whole: bool) -> Iterator[ast.AST]:
+    """Walk a code unit.
+
+    ``whole=True`` walks everything below ``unit`` (used for function
+    bodies, where nested defs share the enclosing scope's hazards);
+    ``whole=False`` stops at nested function/class definitions (used for
+    the module-level unit, whose functions are separate units).
+    """
+    if whole:
+        yield from ast.walk(unit)
+        return
+    stack = list(ast.iter_child_nodes(unit))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _units(module: ModuleInfo) -> list[tuple[FunctionInfo | None, list[ast.AST]]]:
+    """Code units of a module: each function/method, plus module level."""
+    units: list[tuple[FunctionInfo | None, list[ast.AST]]] = [
+        (fn, list(_unit_nodes(fn.node, whole=True)))
+        for fn in module.functions.values()
+    ]
+    units.append((None, list(_unit_nodes(module.tree, whole=False))))
+    return units
+
+
+@dataclass
+class _Scope:
+    """Crude local type facts for one code unit."""
+
+    set_names: set[str] = field(default_factory=set)
+    dict_names: set[str] = field(default_factory=set)
+    rng_names: set[str] = field(default_factory=set)
+    numeric_names: set[str] = field(default_factory=set)
+
+
+def _annotation_tail(annotation: ast.expr | None) -> str | None:
+    if annotation is None:
+        return None
+    node: ast.AST = annotation
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    return _terminal_name(node)
+
+
+def _is_rng_ctor_call(node: ast.AST, module: ModuleInfo) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    resolved = module.resolve(_dotted(node.func))
+    if resolved in _RNG_CTORS or resolved == "numpy.random.Generator":
+        return True
+    return _terminal_name(node.func) in _RNG_CTOR_TAILS
+
+
+def _is_spawn_call(node: ast.AST) -> bool:
+    if isinstance(node, ast.Subscript):
+        return _is_spawn_call(node.value)
+    return isinstance(node, ast.Call) and _terminal_name(node.func) == "spawn"
+
+
+def _build_scope(
+    fn: FunctionInfo | None, nodes: Iterable[ast.AST], module: ModuleInfo
+) -> _Scope:
+    scope = _Scope()
+    if fn is not None:
+        for arg in fn.parameters():
+            if (
+                _words(arg.arg) & _RNG_PARAM_WORDS
+                or _annotation_tail(arg.annotation) == "Generator"
+            ):
+                scope.rng_names.add(arg.arg)
+    for node in nodes:
+        if isinstance(node, ast.Assign):
+            names: set[str] = set()
+            for target in node.targets:
+                names |= _target_names(target)
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            names = _target_names(node.target)
+            value = node.value
+        else:
+            continue
+        if isinstance(value, (ast.Set, ast.SetComp)):
+            scope.set_names |= names
+        elif isinstance(value, (ast.Dict, ast.DictComp)):
+            scope.dict_names |= names
+        elif isinstance(value, ast.Call):
+            tail = _terminal_name(value.func)
+            if tail in ("set", "frozenset"):
+                scope.set_names |= names
+            elif tail in ("dict", "defaultdict", "Counter", "OrderedDict"):
+                scope.dict_names |= names
+            elif _is_rng_ctor_call(value, module) or _is_spawn_call(value):
+                scope.rng_names |= names
+        elif isinstance(value, ast.Constant) and isinstance(value.value, (int, float)):
+            if not isinstance(value.value, bool):
+                scope.numeric_names |= names
+    return scope
+
+
+def _is_set_valued(
+    node: ast.AST, scope: _Scope, module: ModuleInfo, graph: ProjectGraph, depth: int = 0
+) -> bool:
+    """Whether an expression evaluates to a set/frozenset (best effort)."""
+    if depth > 4:
+        return False
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return _terminal_name(node.func) in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_valued(node.left, scope, module, graph, depth + 1) or (
+            _is_set_valued(node.right, scope, module, graph, depth + 1)
+        )
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        name = _terminal_name(node)
+        if isinstance(node, ast.Name) and name in scope.set_names:
+            return True
+        const = graph.constant(module, _dotted(node))
+        if const is not None:
+            return _is_set_valued(const, scope, module, graph, depth + 1)
+    return False
+
+
+def _dict_iteration(node: ast.AST, scope: _Scope) -> bool:
+    """Whether a ``for``-iterable expression walks a dict's entries."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in ("keys", "values", "items"):
+            return True
+    if isinstance(node, ast.Name):
+        return node.id in scope.dict_names
+    return isinstance(node, (ast.Dict, ast.DictComp))
+
+
+# ---------------------------------------------------------------------------
+# SIM101 — unseeded Generator creation (whole-program seed flow)
+# ---------------------------------------------------------------------------
+
+
+@register_project
+class UnseededGeneratorRule(ProjectRule):
+    """SIM101: every ``Generator`` must be reachable from an actual seed.
+
+    ``np.random.default_rng()`` (or an explicit ``None``) seeds from OS
+    entropy — every run draws a different stream and replay is impossible.
+    The subtle variant is *transitive*: ``f(seed=None)`` forwarding into
+    ``default_rng(seed)`` is fine only if some caller somewhere actually
+    supplies the seed.  This rule walks the project call graph: a
+    ``None``-default parameter that flows (possibly through several
+    forwarding functions) into an RNG constructor is reported unless at
+    least one call site feeds it a real value.  Functions with no callers
+    in the linted tree (public API roots) are given the benefit of the
+    doubt.
+    """
+
+    id = "SIM101"
+    summary = "Generator creation that no caller ever seeds (OS entropy)"
+
+    def applies_module(self, module: ModuleInfo) -> bool:
+        return module.ctx.in_library
+
+    # -- local helpers ---------------------------------------------------
+
+    def _rng_ctor_sites(self, module: ModuleInfo) -> list[tuple[FunctionInfo | None, ast.Call]]:
+        out = []
+        for fn, nodes in _units(module):
+            for node in nodes:
+                if _is_rng_ctor_call(node, module):
+                    out.append((fn, node))
+        return out
+
+    @staticmethod
+    def _seed_args(call: ast.Call) -> list[ast.expr]:
+        args = list(call.args)
+        args.extend(kw.value for kw in call.keywords if kw.arg in ("seed", "entropy"))
+        return args
+
+    @staticmethod
+    def _param_default_is_none(fn: FunctionInfo, name: str) -> bool:
+        default = fn.default_of(name)
+        return (
+            default is not None
+            and isinstance(default, ast.Constant)
+            and default.value is None
+        )
+
+    def _bound_expr(self, site: CallSite, fn: FunctionInfo, param: str) -> ast.expr | None:
+        """The expression a call site binds to ``param`` of ``fn``."""
+        call = site.node
+        if any(isinstance(a, ast.Starred) for a in call.args) or any(
+            kw.arg is None for kw in call.keywords
+        ):
+            return call  # *args/**kwargs: assume it feeds (optimistic)
+        for kw in call.keywords:
+            if kw.arg == param:
+                return kw.value
+        positional = [a.arg for a in fn.node.args.posonlyargs + fn.node.args.args]
+        try:
+            index = positional.index(param)
+        except ValueError:
+            return None
+        if index < len(call.args):
+            return call.args[index]
+        return None
+
+    def _caller_of(self, site: CallSite) -> FunctionInfo | None:
+        """The function whose body contains ``site`` (best effort)."""
+        for fn in site.module.functions.values():
+            for node in ast.walk(fn.node):
+                if node is site.node:
+                    return fn
+        return None
+
+    def check(self) -> None:
+        # Pass 1: direct unseeded constructions + seed-parameter roots.
+        seed_params: set[tuple[str, str]] = set()  # (function fqname, param)
+        param_sites: dict[tuple[str, str], tuple[ModuleInfo, FunctionInfo]] = {}
+        for module in self.modules():
+            for fn, call in self._rng_ctor_sites(module):
+                args = self._seed_args(call)
+                if not args:
+                    self.report(
+                        module,
+                        call,
+                        "Generator created with no seed: every run draws fresh "
+                        "OS entropy and replay is impossible — pass a seed, a "
+                        "SeedSequence, or a spawned child stream",
+                    )
+                    continue
+                for arg in args:
+                    if isinstance(arg, ast.Constant) and arg.value is None:
+                        self.report(
+                            module,
+                            call,
+                            "Generator explicitly seeded with None (OS entropy); "
+                            "pass a real seed or a spawned child stream",
+                        )
+                    elif (
+                        isinstance(arg, ast.Name)
+                        and fn is not None
+                        and not fn.is_method
+                        and self._param_default_is_none(fn, arg.id)
+                    ):
+                        key = (fn.fqname, arg.id)
+                        seed_params.add(key)
+                        param_sites[key] = (module, fn)
+
+        # Pass 2: discover forwarding seed parameters (fixpoint).  A
+        # None-default parameter passed into a known seed parameter of
+        # another project function is itself a seed parameter.
+        changed = True
+        while changed:
+            changed = False
+            for fq, param in list(seed_params):
+                fn = self.graph.function(fq)
+                if fn is None:
+                    continue
+                for site in self.graph.call_sites(fq):
+                    caller = self._caller_of(site)
+                    if caller is None or caller.is_method:
+                        continue
+                    expr = self._bound_expr(site, fn, param)
+                    if (
+                        isinstance(expr, ast.Name)
+                        and self._param_default_is_none(caller, expr.id)
+                    ):
+                        key = (caller.fqname, expr.id)
+                        if key not in seed_params:
+                            seed_params.add(key)
+                            param_sites[key] = (site.module, caller)
+                            changed = True
+
+        # Pass 3: fedness.  A seed parameter is FED when some call site
+        # supplies a concrete value — directly, or via a parameter that is
+        # itself fed.  Functions nobody calls in the linted tree are
+        # treated as fed (their callers are outside our view).
+        fed: set[tuple[str, str]] = set()
+        pending: dict[tuple[str, str], list[tuple[str, str]]] = {}
+        for key in seed_params:
+            fq, param = key
+            fn = self.graph.function(fq)
+            sites = self.graph.call_sites(fq)
+            if fn is None or not sites:
+                fed.add(key)
+                continue
+            depends: list[tuple[str, str]] = []
+            for site in sites:
+                expr = self._bound_expr(site, fn, param)
+                if expr is None or (
+                    isinstance(expr, ast.Constant) and expr.value is None
+                ):
+                    continue  # omitted / explicit None: does not feed
+                caller = self._caller_of(site)
+                if (
+                    isinstance(expr, ast.Name)
+                    and caller is not None
+                    and not caller.is_method
+                    and self._param_default_is_none(caller, expr.id)
+                ):
+                    depends.append((caller.fqname, expr.id))
+                else:
+                    fed.add(key)
+                    break
+            else:
+                pending[key] = depends
+        changed = True
+        while changed:
+            changed = False
+            for key, depends in pending.items():
+                if key not in fed and any(d in fed or d not in seed_params for d in depends):
+                    fed.add(key)
+                    changed = True
+
+        for key in sorted(seed_params - fed):
+            module, fn = param_sites[key]
+            _, param = key
+            self.report(
+                module,
+                fn.node,
+                f"seed parameter `{param}` of `{fn.qualname}` defaults to None "
+                "and flows into a Generator constructor, but no call site in "
+                "the project ever supplies it — every run draws fresh OS "
+                "entropy; thread a seed through, or drop the None default",
+            )
+
+
+# ---------------------------------------------------------------------------
+# SIM102 — one RNG stream shared across policies/hosts
+# ---------------------------------------------------------------------------
+
+
+@register_project
+class SharedStreamRule(ProjectRule):
+    """SIM102: fan out RNG streams with ``Generator.spawn``, don't share.
+
+    Handing the *same* Generator object to every policy (or host, or
+    replication) in a sweep makes each one's draws depend on how many the
+    previous consumer took — reordering the sweep, or adding a policy,
+    silently changes every other policy's workload.  The fix is explicit
+    fan-out: ``children = rng.spawn(n)`` and one independent child per
+    consumer.  The rule flags an RNG-typed name created *outside* a
+    policy/host/replication-axis loop but consumed inside it.
+    """
+
+    id = "SIM102"
+    summary = "RNG object shared across a policy/host/replication loop; spawn"
+
+    def applies_module(self, module: ModuleInfo) -> bool:
+        return module.ctx.in_library
+
+    @staticmethod
+    def _axis_loop(node: ast.For) -> bool:
+        names = _target_names(node.target)
+        iter_name = _terminal_name(node.iter)
+        if iter_name:
+            names.add(iter_name)
+        words: set[str] = set()
+        for name in names:
+            words |= _words(name)
+        return bool(words & _FANOUT_AXIS_WORDS)
+
+    def _check_unit(
+        self, module: ModuleInfo, fn: FunctionInfo | None, nodes: list[ast.AST]
+    ) -> None:
+        scope = _build_scope(fn, nodes, module)
+        if not scope.rng_names:
+            return
+        for node in nodes:
+            if not isinstance(node, ast.For) or not self._axis_loop(node):
+                continue
+            fresh: set[str] = set(_target_names(node.target))
+            # the loop header is the fan-out site itself (``zip(policies,
+            # rng.spawn(n))``) — only the body consumes streams.
+            header = set(map(id, ast.walk(node.iter)))
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Assign):
+                    value_ok = _is_rng_ctor_call(sub.value, module) or _is_spawn_call(
+                        sub.value
+                    )
+                    if value_ok:
+                        for target in sub.targets:
+                            fresh |= _target_names(target)
+            for sub in ast.walk(node):
+                if not isinstance(sub, ast.Call) or id(sub) in header:
+                    continue
+                if _terminal_name(sub.func) == "spawn":
+                    continue
+                shared = [
+                    arg.id
+                    for arg in [*sub.args, *(kw.value for kw in sub.keywords)]
+                    if isinstance(arg, ast.Name)
+                    and arg.id in scope.rng_names
+                    and arg.id not in fresh
+                ]
+                receiver = (
+                    sub.func.value
+                    if isinstance(sub.func, ast.Attribute)
+                    else None
+                )
+                if (
+                    not shared
+                    and isinstance(receiver, ast.Name)
+                    and receiver.id in scope.rng_names
+                    and receiver.id not in fresh
+                ):
+                    shared = [receiver.id]
+                for name in shared:
+                    self.report(
+                        module,
+                        sub,
+                        f"RNG `{name}` is created outside this loop but consumed "
+                        "per iteration: every policy/host shares one stream and "
+                        "each one's draws depend on the others — fan out with "
+                        f"`{name}.spawn(n)` and give each iteration its own child",
+                    )
+
+    def check(self) -> None:
+        for module in self.modules():
+            for fn, nodes in _units(module):
+                self._check_unit(module, fn, nodes)
+
+
+# ---------------------------------------------------------------------------
+# SIM103 — set/dict iteration feeding scheduling or float accumulation
+# ---------------------------------------------------------------------------
+
+
+@register_project
+class UnorderedIterationRule(ProjectRule):
+    """SIM103: unordered iteration must not drive order-sensitive sinks.
+
+    Set iteration order depends on ``PYTHONHASHSEED`` and insertion
+    history; feeding it into ``Simulator.schedule``/``heappush`` (event
+    creation order fixes the ``seq`` tie-breaker) or a float accumulator
+    (addition is not associative) makes two identically-seeded runs
+    diverge.  Dict iteration is insertion-ordered but still flagged when
+    it schedules events, because the insertion order of a dict built
+    across the run is itself easy to perturb.  Iterate ``sorted(...)``.
+    """
+
+    id = "SIM103"
+    summary = "set/dict iteration feeds event scheduling or float accumulation"
+
+    def applies_module(self, module: ModuleInfo) -> bool:
+        return module.ctx.in_library
+
+    @staticmethod
+    def _loop_triggers(node: ast.For, scope: _Scope) -> tuple[bool, ast.AST | None]:
+        """(schedules, accumulation-node) found in the loop body."""
+        schedules = False
+        accumulates: ast.AST | None = None
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                if _terminal_name(sub.func) in _SCHEDULING_TAILS:
+                    schedules = True
+            elif isinstance(sub, ast.AugAssign) and isinstance(sub.op, ast.Add):
+                if (
+                    isinstance(sub.target, ast.Name)
+                    and sub.target.id in scope.numeric_names
+                ):
+                    accumulates = sub
+        return schedules, accumulates
+
+    def check(self) -> None:
+        for module in self.modules():
+            for fn, nodes in _units(module):
+                scope = _build_scope(fn, nodes, module)
+                for node in nodes:
+                    if not isinstance(node, ast.For):
+                        continue
+                    schedules, accumulates = self._loop_triggers(node, scope)
+                    if not schedules and accumulates is None:
+                        continue
+                    if _is_set_valued(node.iter, scope, module, self.graph):
+                        sink = (
+                            "event scheduling"
+                            if schedules
+                            else "a float accumulation"
+                        )
+                        self.report(
+                            module,
+                            node,
+                            f"iterating a set feeds {sink}: set order varies "
+                            "with hashing and insertion history, so replays "
+                            "diverge — iterate sorted(...) instead",
+                        )
+                    elif schedules and _dict_iteration(node.iter, scope):
+                        self.report(
+                            module,
+                            node,
+                            "iterating a dict feeds event scheduling: the "
+                            "event seq tie-breaker inherits the dict's "
+                            "insertion history — iterate sorted(...) for a "
+                            "replay-stable order",
+                        )
+
+
+# ---------------------------------------------------------------------------
+# SIM104 — order-sensitive float reduction over an unordered collection
+# ---------------------------------------------------------------------------
+
+
+@register_project
+class UnorderedReductionRule(ProjectRule):
+    """SIM104: ``sum()`` over a set has no defined order.
+
+    Float addition is not associative; summing an unordered collection
+    gives answers that differ in the last bits between runs — invisible
+    in one result, fatal when two replays are compared bit-exactly or a
+    cutoff search brackets on the difference.  Use ``sum(sorted(xs))``
+    or ``math.fsum`` (exact, order-independent).
+    """
+
+    id = "SIM104"
+    summary = "sum() over a set/unordered collection; sort first or use fsum"
+
+    def applies_module(self, module: ModuleInfo) -> bool:
+        return module.ctx.in_subpackage("sim", "core", "analysis", "experiments")
+
+    def check(self) -> None:
+        for module in self.modules():
+            for fn, nodes in _units(module):
+                scope = _build_scope(fn, nodes, module)
+                for node in nodes:
+                    if not isinstance(node, ast.Call):
+                        continue
+                    if not (
+                        isinstance(node.func, ast.Name) and node.func.id == "sum"
+                    ):
+                        continue
+                    if not node.args:
+                        continue
+                    arg = node.args[0]
+                    unordered = _is_set_valued(arg, scope, module, self.graph)
+                    if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+                        unordered = any(
+                            _is_set_valued(gen.iter, scope, module, self.graph)
+                            for gen in arg.generators
+                        )
+                    if unordered:
+                        self.report(
+                            module,
+                            node,
+                            "sum() over a set: float addition is order-"
+                            "sensitive and set order is not reproducible — "
+                            "sum(sorted(...)) or math.fsum(...) instead",
+                        )
+
+
+# ---------------------------------------------------------------------------
+# SIM105 — event-heap entries need the (time, seq) tie-breaker
+# ---------------------------------------------------------------------------
+
+
+@register_project
+class HeapTieBreakRule(ProjectRule):
+    """SIM105: simultaneous events must be ordered by an explicit seq.
+
+    The engine's contract (:mod:`repro.sim.events`) is that heap entries
+    order by ``(time, seq)``: equal times fall back to insertion order,
+    never to memory layout or payload comparison.  A heap entry that is a
+    bare time, a 1-tuple, or a ``(time, other-float)`` pair — or a class
+    whose ``__lt__``/``order=True`` compares only time-like fields —
+    breaks ties arbitrarily, and which event fires first then varies
+    between replays.
+    """
+
+    id = "SIM105"
+    summary = "heap entry / event ordering without an integer seq tie-breaker"
+
+    def applies_module(self, module: ModuleInfo) -> bool:
+        return module.ctx.in_library
+
+    def _check_heappush(self, module: ModuleInfo, node: ast.Call) -> None:
+        resolved = module.resolve(_dotted(node.func))
+        if resolved != "heapq.heappush" and _terminal_name(node.func) != "heappush":
+            return
+        if len(node.args) < 2:
+            return
+        item = node.args[1]
+        if isinstance(item, (ast.Name, ast.Attribute)) and _is_timey(item):
+            self.report(
+                module,
+                node,
+                "pushing a bare time onto a heap: simultaneous entries "
+                "tie-break arbitrarily — push (time, seq, payload) with a "
+                "monotone integer seq",
+            )
+            return
+        if not isinstance(item, ast.Tuple):
+            return
+        elts = item.elts
+        if not elts or not _is_timey(elts[0]):
+            return
+        if len(elts) == 1:
+            self.report(
+                module,
+                node,
+                "heap entry (time,) has no tie-breaker for simultaneous "
+                "events — push (time, seq) with a monotone integer seq",
+            )
+        elif not any(_is_seqish(e) for e in elts[1:]):
+            self.report(
+                module,
+                node,
+                "heap entry orders by time then by payload comparison; equal "
+                "times tie-break on unrelated fields (or raise) — make the "
+                "second element a monotone integer seq",
+            )
+
+    @staticmethod
+    def _compared_fields(cls: ast.ClassDef) -> list[str]:
+        """Field names an ``order=True`` dataclass compares, in order."""
+        fields = []
+        for stmt in cls.body:
+            if not isinstance(stmt, ast.AnnAssign) or not isinstance(
+                stmt.target, ast.Name
+            ):
+                continue
+            value = stmt.value
+            if isinstance(value, ast.Call) and _terminal_name(value.func) == "field":
+                if any(
+                    kw.arg == "compare"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is False
+                    for kw in value.keywords
+                ):
+                    continue
+            fields.append(stmt.target.id)
+        return fields
+
+    def _check_class(self, module: ModuleInfo, cls: ast.ClassDef) -> None:
+        for deco in cls.decorator_list:
+            is_dc = _terminal_name(deco if not isinstance(deco, ast.Call) else deco.func)
+            if is_dc == "dataclass" and isinstance(deco, ast.Call):
+                ordered = any(
+                    kw.arg == "order"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                    for kw in deco.keywords
+                )
+                if ordered:
+                    fields = self._compared_fields(cls)
+                    if (
+                        fields
+                        and _words(fields[0]) & _TIMEY_WORDS
+                        and not any(_words(f) & _SEQ_WORDS for f in fields[1:])
+                    ):
+                        self.report(
+                            module,
+                            cls,
+                            f"dataclass(order=True) `{cls.name}` compares by "
+                            f"`{fields[0]}` with no integer seq field: "
+                            "simultaneous instances tie-break on unrelated "
+                            "fields — add a monotone seq as the second "
+                            "compared field",
+                        )
+        for stmt in cls.body:
+            if isinstance(stmt, ast.FunctionDef) and stmt.name == "__lt__":
+                attrs = {
+                    sub.attr
+                    for sub in ast.walk(stmt)
+                    if isinstance(sub, ast.Attribute)
+                }
+                timey = any(_words(a) & _TIMEY_WORDS for a in attrs)
+                seqish = any(_words(a) & _SEQ_WORDS for a in attrs)
+                if timey and not seqish:
+                    self.report(
+                        module,
+                        stmt,
+                        f"`{cls.name}.__lt__` compares only time-like fields; "
+                        "simultaneous instances have no deterministic order — "
+                        "compare (time, seq) with a monotone integer seq",
+                    )
+
+    def check(self) -> None:
+        for module in self.modules():
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Call):
+                    self._check_heappush(module, node)
+                elif isinstance(node, ast.ClassDef):
+                    self._check_class(module, node)
+
+
+# ---------------------------------------------------------------------------
+# SIM106 — unordered parallel-map results consumed without re-ordering
+# ---------------------------------------------------------------------------
+
+
+@register_project
+class UnorderedParallelRule(ProjectRule):
+    """SIM106: completion order is not submission order.
+
+    ``Pool.imap_unordered`` and ``concurrent.futures.as_completed`` yield
+    results in *completion* order — a property of machine load, not of
+    the inputs — so folding them straight into a list or accumulator
+    bakes scheduler noise into the result.  Restore submission order
+    first: carry an index and write into ``results[i]``, sort the
+    collected pairs, or use the order-preserving ``map``/``imap``.
+    """
+
+    id = "SIM106"
+    summary = "imap_unordered/as_completed results used without order restoration"
+
+    _UNORDERED_TAILS = frozenset({"imap_unordered", "as_completed"})
+
+    def applies_module(self, module: ModuleInfo) -> bool:
+        return module.ctx.in_library
+
+    @staticmethod
+    def _restores_order(loop: ast.For) -> bool:
+        """An indexed store inside the loop restores submission order."""
+        for sub in ast.walk(loop):
+            if isinstance(sub, ast.Assign) and any(
+                isinstance(t, ast.Subscript) for t in sub.targets
+            ):
+                return True
+        return False
+
+    def check(self) -> None:
+        for module in self.modules():
+            parents: dict[ast.AST, ast.AST] = {}
+            for parent in ast.walk(module.tree):
+                for child in ast.iter_child_nodes(parent):
+                    parents[child] = parent
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                if _terminal_name(node.func) not in self._UNORDERED_TAILS:
+                    continue
+                parent = parents.get(node)
+                if isinstance(parent, ast.Call) and _terminal_name(parent.func) in (
+                    "sorted",
+                    "dict",
+                ):
+                    continue  # explicit re-ordering / keyed collection
+                if isinstance(parent, ast.For) and parent.iter is node:
+                    if self._restores_order(parent):
+                        continue
+                    self.report(
+                        module,
+                        parent,
+                        "results are consumed in completion order (machine-"
+                        "load dependent): write each result into its "
+                        "submission slot (results[i] = ...) or sort before "
+                        "folding",
+                    )
+                    continue
+                self.report(
+                    module,
+                    node,
+                    "unordered parallel results flow on without order "
+                    "restoration: completion order varies run to run — sort "
+                    "by submission index (or use the order-preserving map) "
+                    "before consuming",
+                )

@@ -32,7 +32,9 @@ import sys
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from . import flow as _flow  # noqa: F401  (imported to register SIM101+)
 from .findings import Finding, format_findings, sort_findings
+from .graph import PROJECT_RULES, ProjectGraph, run_project_rules
 from .rules import RULES, LintContext, run_rules
 
 __all__ = [
@@ -64,14 +66,20 @@ class LintError(Exception):
 # ---------------------------------------------------------------------------
 
 
+def _all_rule_ids() -> set[str]:
+    """Every known rule ID: per-file (SIM00x) plus whole-program (SIM10x)."""
+    return set(RULES) | set(PROJECT_RULES)
+
+
 def _validate_rules(ids: Iterable[str], origin: str) -> set[str]:
+    known_ids = _all_rule_ids()
     out = set()
     for rule_id in ids:
         rid = rule_id.strip().upper()
         if not rid:
             continue
-        if rid not in RULES:
-            known = ", ".join(sorted(RULES))
+        if rid not in known_ids:
+            known = ", ".join(sorted(known_ids))
             raise LintError(f"unknown rule {rid!r} in {origin} (known: {known})")
         out.add(rid)
     return out
@@ -82,7 +90,7 @@ def resolve_selection(
     ignore: Iterable[str] | None = None,
 ) -> set[str]:
     """Final rule-ID set: ``select`` (default: all rules) minus ``ignore``."""
-    chosen = _validate_rules(select, "--select") if select else set(RULES)
+    chosen = _validate_rules(select, "--select") if select else _all_rule_ids()
     chosen -= _validate_rules(ignore, "--ignore") if ignore else set()
     return chosen
 
@@ -175,6 +183,42 @@ def _noqa_map(source: str) -> dict[int, set[str] | None]:
     return out
 
 
+def _apply_noqa(
+    findings: Iterable[Finding], noqa: dict[str, dict[int, set[str] | None]]
+) -> list[Finding]:
+    """Drop findings suppressed by a pragma on their own line."""
+    kept = []
+    for finding in findings:
+        rules_at_line = noqa.get(finding.path, {}).get(finding.line, "absent")
+        if rules_at_line is None or (
+            isinstance(rules_at_line, set) and finding.rule in rules_at_line
+        ):
+            continue
+        kept.append(finding)
+    return kept
+
+
+def _lint_one(
+    source: str, path: str, chosen: set[str]
+) -> tuple[list[Finding], ast.Module | None, dict[int, set[str] | None]]:
+    """Per-file pass: (suppressed findings, tree for the project pass, noqa)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        finding = Finding(
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1,
+            rule=SYNTAX_RULE,
+            message=f"syntax error: {exc.msg}",
+        )
+        return [finding], None, {}
+    ctx = LintContext.for_path(path)
+    findings = run_rules(tree, ctx, select=chosen)
+    suppressed = _noqa_map(source)
+    return _apply_noqa(findings, {path: suppressed}), tree, suppressed
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
@@ -185,31 +229,16 @@ def lint_source(
 
     ``path`` drives the path-scoped rules: pass a virtual location like
     ``src/repro/sim/x.py`` to lint a snippet under ``sim`` conventions.
+    The whole-program rules (SIM101+) run too, over a one-module graph —
+    flow within the snippet is visible, callers outside it are not.
     """
     chosen = resolve_selection(select, ignore)
-    ctx = LintContext.for_path(path)
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            Finding(
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) + 1,
-                rule=SYNTAX_RULE,
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
-    findings = run_rules(tree, ctx, select=chosen)
-    suppressed = _noqa_map(source)
-    kept = []
-    for finding in findings:
-        if finding.line in suppressed:
-            rules_at_line = suppressed[finding.line]
-            if rules_at_line is None or finding.rule in rules_at_line:
-                continue
-        kept.append(finding)
-    return sort_findings(kept)
+    findings, tree, suppressed = _lint_one(source, path, chosen)
+    if tree is not None and chosen & set(PROJECT_RULES):
+        graph = ProjectGraph.build([(path, tree)])
+        project = run_project_rules(graph, select=chosen)
+        findings.extend(_apply_noqa(project, {path: suppressed}))
+    return sort_findings(findings)
 
 
 def collect_files(paths: Sequence[str | Path]) -> list[Path]:
@@ -231,11 +260,27 @@ def lint_paths(
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
 ) -> list[Finding]:
-    """Lint every ``.py`` file under ``paths``."""
+    """Lint every ``.py`` file under ``paths``.
+
+    Two passes share one parse: the per-file rules see each tree in
+    isolation; the whole-program rules (SIM101+) see a
+    :class:`~repro.devtools.graph.ProjectGraph` built from every parsed
+    file, so seed flow across modules is visible.
+    """
+    chosen = resolve_selection(select, ignore)
     findings: list[Finding] = []
+    parsed: list[tuple[str, ast.Module]] = []
+    noqa: dict[str, dict[int, set[str] | None]] = {}
     for file in collect_files(paths):
         source = file.read_text(encoding="utf-8")
-        findings.extend(lint_source(source, path=str(file), select=select, ignore=ignore))
+        per_file, tree, suppressed = _lint_one(source, str(file), chosen)
+        findings.extend(per_file)
+        if tree is not None:
+            parsed.append((str(file), tree))
+            noqa[str(file)] = suppressed
+    if parsed and chosen & set(PROJECT_RULES):
+        graph = ProjectGraph.build(parsed)
+        findings.extend(_apply_noqa(run_project_rules(graph, select=chosen), noqa))
     return sort_findings(findings)
 
 
@@ -272,9 +317,11 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        "--output-format",
+        dest="format",
+        choices=("text", "json", "github"),
         default="text",
-        help="report format (default: text)",
+        help="report format (default: text; github = Actions annotations)",
     )
     parser.add_argument(
         "--list-rules",
@@ -295,8 +342,12 @@ def build_parser() -> argparse.ArgumentParser:
 def run_from_args(args: argparse.Namespace) -> int:
     """Execute a parsed lint invocation; returns the process exit code."""
     if args.list_rules:
-        for rule_id in sorted(RULES):
-            print(f"{rule_id}  {RULES[rule_id].summary}")
+        combined: dict[str, str] = {
+            **{rid: cls.summary for rid, cls in RULES.items()},
+            **{rid: cls.summary for rid, cls in PROJECT_RULES.items()},
+        }
+        for rule_id in sorted(combined):
+            print(f"{rule_id}  {combined[rule_id]}")
         return 0
     # CLI selection flags replace the pyproject defaults wholesale — mixing
     # a command-line --select with a configured ignore list surprises.

@@ -1,11 +1,24 @@
 """Simulation substrate: event engine, distributed server, fast kernels."""
 
-from .engine import InvariantViolation, SimulationError, Simulator, strict_from_env
+from .engine import (
+    InvariantViolation,
+    SimulationError,
+    Simulator,
+    set_event_hook,
+    strict_from_env,
+)
 from .events import Event, EventHandle
 from .fast import fcfs_waits, lwl_waits, shortest_queue_waits, simulate_fast
 from .host import FCFSHost
 from .jobs import Job
-from .metrics import SimulationResult, Summary, batch_means_ci
+from .metrics import (
+    SimulationResult,
+    Summary,
+    array_digest,
+    batch_means_ci,
+    observe_result,
+    set_result_observer,
+)
 from .runner import simulate
 from .server import DistributedServer, SystemState
 
@@ -13,6 +26,7 @@ __all__ = [
     "InvariantViolation",
     "SimulationError",
     "Simulator",
+    "set_event_hook",
     "strict_from_env",
     "Event",
     "EventHandle",
@@ -24,7 +38,10 @@ __all__ = [
     "Job",
     "SimulationResult",
     "Summary",
+    "array_digest",
     "batch_means_ci",
+    "observe_result",
+    "set_result_observer",
     "simulate",
     "DistributedServer",
     "SystemState",

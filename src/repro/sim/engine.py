@@ -18,7 +18,13 @@ from typing import Any, Callable
 
 from .events import Event, EventHandle
 
-__all__ = ["Simulator", "SimulationError", "InvariantViolation", "strict_from_env"]
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "InvariantViolation",
+    "set_event_hook",
+    "strict_from_env",
+]
 
 
 class SimulationError(RuntimeError):
@@ -35,6 +41,29 @@ class InvariantViolation(SimulationError):
     indicates a simulator bug, never a modelling choice — results from a
     run that raised it must be discarded.
     """
+
+
+#: process-wide observer of executed events, installed by ``repro audit``
+#: (:mod:`repro.devtools.audit`) to digest the event stream.  ``None``
+#: (the default) costs one truthiness test per event.
+_EVENT_HOOK: Callable[[Event], None] | None = None
+
+
+def set_event_hook(hook: Callable[[Event], None] | None) -> Callable[[Event], None] | None:
+    """Install ``hook(event)`` to observe every executed event; return the
+    previous hook so callers can restore it.
+
+    The hook fires once per non-cancelled event, after the clock has
+    advanced and before the callback runs, across **every**
+    :class:`Simulator` instance in the process — which is what an audit
+    wants: the complete, ordered stream of state transitions.  Pass
+    ``None`` to uninstall.  Not a public extension point; the supported
+    consumer is the replay-divergence auditor.
+    """
+    global _EVENT_HOOK
+    previous = _EVENT_HOOK
+    _EVENT_HOOK = hook
+    return previous
 
 
 def strict_from_env() -> bool:
@@ -145,6 +174,8 @@ class Simulator:
                 )
             self._now = event.time
             self._events_processed += 1
+            if _EVENT_HOOK is not None:
+                _EVENT_HOOK(event)
             event.callback(*event.args)
             if self._strict:
                 for checker in self._checkers:

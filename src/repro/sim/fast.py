@@ -35,7 +35,7 @@ import numpy as np
 
 from ..workloads.distributions import _as_rng
 from ..workloads.traces import Trace
-from .metrics import SimulationResult
+from .metrics import SimulationResult, observe_result
 
 __all__ = [
     "fcfs_waits",
@@ -363,7 +363,7 @@ def simulate_fast(
         # response − size cancels to float noise for zero-wait jobs on
         # long horizons; clamp (real violations would be far larger).
         tags_w = np.maximum(responses - s, 0.0)
-        return SimulationResult(
+        result = SimulationResult(
             policy_name=getattr(policy, "name", type(policy).__name__),
             n_hosts=n_hosts,
             arrival_times=t,
@@ -372,10 +372,12 @@ def simulate_fast(
             host_assignments=assignment,
             wasted_work=wasted,
         )
+        observe_result(result)
+        return result
     else:
         raise ValueError(f"unsupported policy kind={kind!r}, fast_hint={hint!r}")
 
-    return SimulationResult(
+    result = SimulationResult(
         policy_name=getattr(policy, "name", type(policy).__name__),
         n_hosts=n_hosts,
         arrival_times=t,
@@ -384,3 +386,5 @@ def simulate_fast(
         host_assignments=assignment,
         processing_times=None if uniform else durations,
     )
+    observe_result(result)
+    return result

@@ -11,12 +11,80 @@ batch-means confidence intervals for the steady-state means.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
-__all__ = ["SimulationResult", "Summary", "batch_means_ci"]
+__all__ = [
+    "SimulationResult",
+    "Summary",
+    "array_digest",
+    "batch_means_ci",
+    "observe_result",
+    "set_result_observer",
+]
+
+
+def array_digest(*arrays: np.ndarray | None, precision: int | None = None) -> str:
+    """Order-sensitive 128-bit digest of one or more arrays.
+
+    Folds dtype, shape and raw bytes of each array (in order) into a
+    ``blake2b`` hash, so two runs agree iff they produced bit-identical
+    arrays.  ``precision`` rounds floating arrays to that many decimals
+    first (and collapses ``-0.0`` to ``0.0``), for comparisons that
+    should tolerate last-bit float noise — e.g. across simulator
+    backends whose summation orders legitimately differ.  ``None``
+    entries fold as an explicit absence marker, so "no array" and "empty
+    array" stay distinguishable.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    for arr in arrays:
+        if arr is None:
+            h.update(b"<absent>")
+            continue
+        a = np.asarray(arr)
+        if precision is not None and np.issubdtype(a.dtype, np.floating):
+            # rounding may produce -0.0; +0.0 normalises it so the byte
+            # representation is unique per value
+            a = np.round(a, precision) + 0.0
+        h.update(str(a.dtype).encode())
+        h.update(str(a.shape).encode())
+        h.update(np.ascontiguousarray(a).tobytes())
+    return h.hexdigest()
+
+
+#: process-wide observer of finished simulation runs, installed by
+#: ``repro audit`` to digest every result an experiment produces —
+#: including the many interior runs of a cutoff search the experiment
+#: driver never returns.
+_RESULT_OBSERVER: Callable[["SimulationResult"], None] | None = None
+
+
+def set_result_observer(
+    observer: Callable[["SimulationResult"], None] | None,
+) -> Callable[["SimulationResult"], None] | None:
+    """Install ``observer(result)`` on every completed simulation run;
+    return the previous observer so callers can restore it.
+
+    Both backends (:func:`repro.sim.fast.simulate_fast` and
+    :meth:`repro.sim.server.DistributedServer.run_trace`) report here
+    exactly once per run.  Pass ``None`` to uninstall.  Not a public
+    extension point; the supported consumer is the replay-divergence
+    auditor.
+    """
+    global _RESULT_OBSERVER
+    previous = _RESULT_OBSERVER
+    _RESULT_OBSERVER = observer
+    return previous
+
+
+def observe_result(result: "SimulationResult") -> None:
+    """Report a finished run to the installed observer (no-op if none)."""
+    if _RESULT_OBSERVER is not None:
+        _RESULT_OBSERVER(result)
 
 
 def batch_means_ci(
@@ -115,6 +183,31 @@ class SimulationResult:
     @property
     def n_jobs(self) -> int:
         return self.arrival_times.size
+
+    def digest(self, precision: int | None = None) -> str:
+        """128-bit fingerprint of this run, for replay auditing.
+
+        Folds the policy name, host count and every per-job array; two
+        replays with identical seeds must produce identical digests
+        (``precision=None``, bit-exact) or the run is nondeterministic.
+        A quantized digest (``precision=10`` or so) tolerates last-bit
+        float differences for cross-backend comparisons.
+        """
+        h = hashlib.blake2b(digest_size=16)
+        h.update(self.policy_name.encode())
+        h.update(str(self.n_hosts).encode())
+        h.update(
+            array_digest(
+                self.arrival_times,
+                self.sizes,
+                self.wait_times,
+                self.host_assignments,
+                self.wasted_work,
+                self.processing_times,
+                precision=precision,
+            ).encode()
+        )
+        return h.hexdigest()
 
     @property
     def response_times(self) -> np.ndarray:

@@ -33,7 +33,7 @@ from ..workloads.traces import Trace
 from .engine import InvariantViolation, Simulator
 from .host import FCFSHost
 from .jobs import Job
-from .metrics import SimulationResult
+from .metrics import SimulationResult, observe_result
 
 __all__ = ["DistributedServer", "SystemState"]
 
@@ -295,7 +295,7 @@ class DistributedServer:
                     for j in jobs
                 ]
             )
-        return SimulationResult(
+        result = SimulationResult(
             policy_name=getattr(self.policy, "name", type(self.policy).__name__),
             n_hosts=len(self.hosts),
             arrival_times=np.array([j.arrival_time for j in jobs]),
@@ -305,3 +305,5 @@ class DistributedServer:
             wasted_work=np.array([j.wasted_work for j in jobs]),
             processing_times=processing,
         )
+        observe_result(result)
+        return result

@@ -1,0 +1,411 @@
+"""Positive + negative fixtures for the whole-program rules SIM101–SIM106.
+
+Mirrors the contract of ``test_lint_rules.py`` for the per-file rules:
+every rule registered in ``PROJECT_RULES`` must have at least one
+fixture that triggers it and one adjacent-but-clean fixture that does
+not — the completeness test fails when a new rule lands without them.
+
+Single-module fixtures go through :func:`repro.devtools.lint_source`
+(which builds a one-module graph), exercising the same path the CLI
+uses; the cross-module flow cases build a multi-file
+:class:`~repro.devtools.ProjectGraph` directly.
+"""
+
+from __future__ import annotations
+
+import ast
+
+import pytest
+
+from repro.devtools import PROJECT_RULES, ProjectGraph, lint_source, run_project_rules
+from repro.devtools.graph import module_name_for_path
+
+SIM_PATH = "src/repro/sim/fixture.py"
+EXP_PATH = "src/repro/experiments/fixture.py"
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+def project_findings(files: dict[str, str], select=None):
+    """Run the project rules over a virtual multi-file tree."""
+    parsed = [(path, ast.parse(src)) for path, src in files.items()]
+    return run_project_rules(ProjectGraph.build(parsed), select=select)
+
+
+# ---------------------------------------------------------------------------
+# fixtures: {rule: (positive_src, positive_path, negative_src, negative_path)}
+# ---------------------------------------------------------------------------
+
+FIXTURES = {
+    "SIM101": (
+        # positive: seed parameter defaults to None and no caller feeds it
+        """\
+import numpy as np
+__all__ = []
+
+def make_stream(seed=None):
+    return np.random.default_rng(seed)
+
+def driver():
+    return make_stream()
+""",
+        SIM_PATH,
+        # negative: a caller supplies the seed
+        """\
+import numpy as np
+__all__ = []
+
+def make_stream(seed=None):
+    return np.random.default_rng(seed)
+
+def driver(config_seed):
+    return make_stream(config_seed)
+""",
+        SIM_PATH,
+    ),
+    "SIM102": (
+        # positive: one Generator consumed across a policy loop
+        """\
+import numpy as np
+__all__ = []
+
+def sweep(policies, rng: np.random.Generator):
+    out = []
+    for policy in policies:
+        out.append(policy.run(rng))
+    return out
+""",
+        SIM_PATH,
+        # negative: explicit fan-out via spawn
+        """\
+import numpy as np
+__all__ = []
+
+def sweep(policies, rng: np.random.Generator):
+    out = []
+    for policy, child in zip(policies, rng.spawn(len(policies))):
+        out.append(policy.run(child))
+    return out
+""",
+        SIM_PATH,
+    ),
+    "SIM103": (
+        # positive: set iteration feeding event scheduling
+        """\
+__all__ = []
+
+def enqueue_all(sim, jobs):
+    pending = set(jobs)
+    for job in pending:
+        sim.schedule(job.arrival, job.fire)
+""",
+        SIM_PATH,
+        # negative: sorted first — replay-stable order
+        """\
+__all__ = []
+
+def enqueue_all(sim, jobs):
+    pending = set(jobs)
+    for job in sorted(pending):
+        sim.schedule(job.arrival, job.fire)
+""",
+        SIM_PATH,
+    ),
+    "SIM104": (
+        # positive: float reduction over a set
+        """\
+__all__ = []
+
+def total_work(sizes):
+    distinct = set(sizes)
+    return sum(distinct)
+""",
+        SIM_PATH,
+        # negative: sorted before summing
+        """\
+__all__ = []
+
+def total_work(sizes):
+    distinct = set(sizes)
+    return sum(sorted(distinct))
+""",
+        SIM_PATH,
+    ),
+    "SIM105": (
+        # positive: heap entry ordered by time then payload, no seq
+        """\
+import heapq
+__all__ = []
+
+def push(heap, finish_time, job):
+    heapq.heappush(heap, (finish_time, job))
+""",
+        SIM_PATH,
+        # negative: (time, seq, payload) — the engine's contract
+        """\
+import heapq
+__all__ = []
+
+def push(heap, finish_time, seq, job):
+    heapq.heappush(heap, (finish_time, seq, job))
+""",
+        SIM_PATH,
+    ),
+    "SIM106": (
+        # positive: completion-order results folded into a list
+        """\
+__all__ = []
+
+def run_all(pool, chunks):
+    out = []
+    for result in pool.imap_unordered(work, chunks):
+        out.append(result)
+    return out
+""",
+        SIM_PATH,
+        # negative: each result restored to its submission slot
+        """\
+__all__ = []
+
+def run_all(pool, chunks):
+    out = [None] * len(chunks)
+    for i, result in pool.imap_unordered(work, enumerate(chunks)):
+        out[i] = result
+    return out
+""",
+        SIM_PATH,
+    ),
+}
+
+
+def test_every_registered_project_rule_has_fixtures():
+    assert set(FIXTURES) == set(PROJECT_RULES)
+
+
+@pytest.mark.parametrize("rule", sorted(FIXTURES))
+def test_positive_fixture_triggers(rule):
+    pos_src, pos_path, _, _ = FIXTURES[rule]
+    findings = lint_source(pos_src, path=pos_path, select=[rule])
+    assert rules_of(findings) == {rule}, findings
+
+
+@pytest.mark.parametrize("rule", sorted(FIXTURES))
+def test_negative_fixture_is_clean(rule):
+    _, _, neg_src, neg_path = FIXTURES[rule]
+    findings = lint_source(neg_src, path=neg_path, select=[rule])
+    assert findings == [], findings
+
+
+@pytest.mark.parametrize("rule", sorted(FIXTURES))
+def test_noqa_suppresses_project_finding(rule):
+    pos_src, pos_path, _, _ = FIXTURES[rule]
+    findings = lint_source(pos_src, path=pos_path, select=[rule])
+    lines = pos_src.splitlines()
+    for f in findings:
+        lines[f.line - 1] += f"  # repro: noqa {rule}"
+    suppressed = lint_source("\n".join(lines), path=pos_path, select=[rule])
+    assert suppressed == []
+
+
+# ---------------------------------------------------------------------------
+# cross-module flow (the whole point of the graph layer)
+# ---------------------------------------------------------------------------
+
+
+def test_sim101_unfed_seed_across_modules():
+    """A seed forwarded module-to-module but never supplied is reported."""
+    findings = project_findings(
+        {
+            "src/repro/sim/streams.py": (
+                "import numpy as np\n"
+                "__all__ = []\n"
+                "def make_stream(seed=None):\n"
+                "    return np.random.default_rng(seed)\n"
+            ),
+            "src/repro/sim/driver.py": (
+                "from .streams import make_stream\n"
+                "__all__ = []\n"
+                "def run(seed=None):\n"
+                "    return make_stream(seed)\n"
+                "def main():\n"
+                "    return run()\n"
+            ),
+        },
+        select={"SIM101"},
+    )
+    assert rules_of(findings) == {"SIM101"}
+    assert any("streams" in f.path for f in findings) or any(
+        "driver" in f.path for f in findings
+    )
+
+
+def test_sim101_seed_fed_across_modules_is_clean():
+    """The same shape is clean once any caller supplies a real seed."""
+    findings = project_findings(
+        {
+            "src/repro/sim/streams.py": (
+                "import numpy as np\n"
+                "__all__ = []\n"
+                "def make_stream(seed=None):\n"
+                "    return np.random.default_rng(seed)\n"
+            ),
+            "src/repro/sim/driver.py": (
+                "from .streams import make_stream\n"
+                "__all__ = []\n"
+                "def run(seed=None):\n"
+                "    return make_stream(seed)\n"
+                "def main():\n"
+                "    return run(20000731)\n"
+            ),
+        },
+        select={"SIM101"},
+    )
+    assert findings == []
+
+
+def test_sim101_uncalled_function_gets_benefit_of_the_doubt():
+    """A public API root with no visible callers is not reported."""
+    findings = project_findings(
+        {
+            "src/repro/sim/api.py": (
+                "import numpy as np\n"
+                "__all__ = ['entry']\n"
+                "def entry(seed=None):\n"
+                "    return np.random.default_rng(seed)\n"
+            ),
+        },
+        select={"SIM101"},
+    )
+    assert findings == []
+
+
+def test_sim101_direct_unseeded_construction():
+    findings = project_findings(
+        {
+            SIM_PATH: (
+                "import numpy as np\n"
+                "__all__ = []\n"
+                "def fresh():\n"
+                "    return np.random.default_rng()\n"
+            ),
+        },
+        select={"SIM101"},
+    )
+    assert len(findings) == 1 and findings[0].rule == "SIM101"
+
+
+def test_sim105_order_true_dataclass_without_seq():
+    findings = project_findings(
+        {
+            SIM_PATH: (
+                "from dataclasses import dataclass\n"
+                "__all__ = []\n"
+                "@dataclass(order=True)\n"
+                "class Pending:\n"
+                "    time: float\n"
+                "    payload: object\n"
+            ),
+        },
+        select={"SIM105"},
+    )
+    assert rules_of(findings) == {"SIM105"}
+
+
+def test_sim105_event_shaped_dataclass_is_clean():
+    findings = project_findings(
+        {
+            SIM_PATH: (
+                "from dataclasses import dataclass, field\n"
+                "__all__ = []\n"
+                "@dataclass(order=True)\n"
+                "class Pending:\n"
+                "    time: float\n"
+                "    seq: int\n"
+                "    payload: object = field(compare=False, default=None)\n"
+            ),
+        },
+        select={"SIM105"},
+    )
+    assert findings == []
+
+
+def test_sim103_dict_iteration_scheduling_flagged_but_plain_use_clean():
+    scheduling = project_findings(
+        {
+            SIM_PATH: (
+                "__all__ = []\n"
+                "def go(sim, by_host):\n"
+                "    for host, job in by_host.items():\n"
+                "        sim.schedule(job.t, job.fire)\n"
+            ),
+        },
+        select={"SIM103"},
+    )
+    assert rules_of(scheduling) == {"SIM103"}
+    harmless = project_findings(
+        {
+            EXP_PATH: (
+                "__all__ = []\n"
+                "def collect(rows_by_policy):\n"
+                "    out = []\n"
+                "    for name, rows in rows_by_policy.items():\n"
+                "        out.extend(rows)\n"
+                "    return out\n"
+            ),
+        },
+        select={"SIM103"},
+    )
+    assert harmless == []
+
+
+# ---------------------------------------------------------------------------
+# graph layer
+# ---------------------------------------------------------------------------
+
+
+def test_module_name_for_path():
+    assert module_name_for_path("src/repro/sim/engine.py") == "repro.sim.engine"
+    assert module_name_for_path("src/repro/sim/__init__.py") == "repro.sim"
+    assert module_name_for_path("tests/sim/test_engine.py") == "tests.sim.test_engine"
+
+
+def test_graph_resolves_imports_and_call_sites():
+    graph = ProjectGraph.build(
+        [
+            (
+                "src/repro/sim/a.py",
+                ast.parse("import numpy as np\ndef f():\n    return np.zeros(3)\n"),
+            ),
+            (
+                "src/repro/sim/b.py",
+                ast.parse("from .a import f\ndef g():\n    return f()\n"),
+            ),
+        ]
+    )
+    assert graph.call_sites("numpy.zeros")
+    sites = graph.call_sites("repro.sim.a.f")
+    assert len(sites) == 1 and sites[0].module.name == "repro.sim.b"
+    fn = graph.function("repro.sim.a.f")
+    assert fn is not None and fn.qualname == "f"
+
+
+def test_graph_tracks_methods_and_defaults():
+    graph = ProjectGraph.build(
+        [
+            (
+                "src/repro/sim/c.py",
+                ast.parse(
+                    "class Host:\n"
+                    "    def submit(self, job, priority=0):\n"
+                    "        return job\n"
+                ),
+            ),
+        ]
+    )
+    method = graph.function("repro.sim.c.Host.submit")
+    assert method is not None and method.is_method
+    default = method.default_of("priority")
+    assert isinstance(default, ast.Constant) and default.value == 0
+    assert method.default_of("job") is None

@@ -82,6 +82,41 @@ def test_json_format_is_parseable_and_stable(tree, capsys):
     assert keys == sorted(keys)
 
 
+def test_github_format_emits_workflow_commands(tree, capsys):
+    target = tree / "src" / "repro" / "sim" / "dirty.py"
+    assert lint_main([str(target), "--format", "github"]) == 1
+    lines = capsys.readouterr().out.splitlines()
+    assert lines and all(line.startswith("::error file=") for line in lines)
+    assert any(",title=SIM001::" in line for line in lines)
+    # one annotation per finding, each carrying its location properties
+    for line in lines:
+        assert "line=" in line and "col=" in line
+
+
+def test_output_format_alias_matches_format(tree, capsys):
+    target = tree / "src" / "repro" / "sim" / "dirty.py"
+    lint_main([str(target), "--format", "github"])
+    via_format = capsys.readouterr().out
+    lint_main([str(target), "--output-format", "github"])
+    via_alias = capsys.readouterr().out
+    assert via_format == via_alias
+
+
+def test_github_format_escapes_newlines_and_percent():
+    from repro.devtools.findings import Finding, format_findings
+
+    finding = Finding(
+        path="src/repro/sim/x.py",
+        line=1,
+        col=0,
+        rule="SIM001",
+        message="bad%\nworse",
+    )
+    (line,) = format_findings([finding], fmt="github").splitlines()
+    assert "%25" in line and "%0A" in line
+    assert "\n" not in line
+
+
 def test_directory_argument_recurses(tree, capsys):
     assert lint_main([str(tree / "src")]) == 1
     out = capsys.readouterr().out
