@@ -7,6 +7,10 @@ Subcommands
     Show every registered experiment (paper tables/figures + ablations).
 ``repro run fig4 [--scale 0.2] [--csv out.csv]``
     Run one experiment and print its rows (optionally also write CSV).
+    ``--checkpoint DIR`` makes the sweep crash-safe (atomic per-point
+    writes) and ``--resume`` picks an interrupted sweep back up;
+    ``--timeout``/``--retries`` bound the wall-clock cost of a single
+    point (see ``docs/ROBUSTNESS.md``).
 ``repro workloads``
     Print the calibrated workload catalog (Table-1 style).
 ``repro synth c90 out.swf --load 0.7 --hosts 2 --jobs 50000``
@@ -62,6 +66,36 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also render the result as an ASCII chart (where it has one)",
     )
+    run_p.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help=(
+            "persist every completed point under DIR/<experiment>/ with "
+            "atomic writes, so an interrupted sweep can be resumed"
+        ),
+    )
+    run_p.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "reuse points already checkpointed under --checkpoint "
+            "(same experiment and config) instead of recomputing them"
+        ),
+    )
+    run_p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per simulated point (default: unlimited)",
+    )
+    run_p.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="retries for a timed-out point before giving up (default: 1)",
+    )
 
     all_p = sub.add_parser(
         "all", help="run every registered experiment and write results to a directory"
@@ -109,10 +143,22 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "run":
-        config = ExperimentConfig(scale=args.scale)
+        config = ExperimentConfig(
+            scale=args.scale,
+            point_timeout=args.timeout,
+            point_retries=args.retries,
+        )
         if args.seed is not None:
             config = config.with_(seed=args.seed)
-        result = run_experiment(args.experiment, config)
+        if args.resume and not args.checkpoint:
+            print("error: --resume requires --checkpoint DIR", file=sys.stderr)
+            return 2
+        result = run_experiment(
+            args.experiment,
+            config,
+            checkpoint_dir=args.checkpoint,
+            resume=args.resume,
+        )
         print(result.to_text())
         if args.plot:
             from .experiments.plotting import result_chart

@@ -37,7 +37,20 @@ if TYPE_CHECKING:  # pragma: no cover
     from ...sim.jobs import Job
     from ...sim.server import SystemState
 
-__all__ = ["Policy", "StaticPolicy", "StatePolicy"]
+__all__ = ["Policy", "StaticPolicy", "StatePolicy", "nearest_live_host"]
+
+
+def nearest_live_host(choice: int, up: np.ndarray) -> int:
+    """Closest live host to ``choice`` by index distance (ties → lower index).
+
+    The default fault-tolerant re-route: a SITA policy whose designated
+    host is down *spills its size interval* to the adjacent live host,
+    preserving as much of the size-segregation structure as possible.
+    """
+    live = np.flatnonzero(up)
+    if live.size == 0:
+        raise ValueError("no live host to dispatch to")
+    return int(live[np.argmin(np.abs(live - choice))])
 
 
 class Policy(ABC):
@@ -66,6 +79,25 @@ class Policy(ABC):
         raise NotImplementedError(
             f"{type(self).__name__} (kind={self.kind!r}) does not dispatch per-job"
         )
+
+    def choose_live_host(
+        self, job: "Job", state: "SystemState", up: np.ndarray
+    ) -> int:
+        """Route one job when some hosts may be down (fault injection).
+
+        ``up`` is a boolean mask over host indices with at least one
+        ``True``; the returned index must be live.  The default makes the
+        normal choice and, if that host is down, spills to the nearest
+        live one — the documented behaviour for SITA variants.
+        State-dependent policies override this to re-run their argmin
+        over live hosts only.  When every host is up this MUST reduce to
+        :meth:`choose_host` exactly (same RNG draws included), so a
+        failure rate of zero is bit-identical to no fault model at all.
+        """
+        choice = self.choose_host(job, state)
+        if up[choice]:
+            return choice
+        return nearest_live_host(choice, up)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"

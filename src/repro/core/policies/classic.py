@@ -35,6 +35,13 @@ class RandomPolicy(StaticPolicy):
     def choose_host(self, job, state) -> int:
         return int(self.rng.integers(self.n_hosts))
 
+    def choose_live_host(self, job, state, up) -> int:
+        # Uniform over the live hosts.  With every host up this draws
+        # integers(n_hosts) and indexes the identity — bit-identical to
+        # choose_host, as the protocol requires.
+        live = np.flatnonzero(up)
+        return int(live[self.rng.integers(live.size)])
+
     def assign_batch(self, sizes: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         return rng.integers(self.n_hosts, size=sizes.size)
 
@@ -53,6 +60,16 @@ class RoundRobinPolicy(StaticPolicy):
         self._next = (self._next + 1) % self.n_hosts
         return host
 
+    def choose_live_host(self, job, state, up) -> int:
+        # Keep cycling, skipping down hosts; the pointer still advances
+        # past them so the rotation resumes cleanly after repair.
+        for _ in range(self.n_hosts):
+            host = self._next
+            self._next = (self._next + 1) % self.n_hosts
+            if up[host]:
+                return host
+        raise ValueError("no live host to dispatch to")
+
     def assign_batch(self, sizes: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         return np.arange(sizes.size) % self.n_hosts
 
@@ -65,6 +82,10 @@ class ShortestQueuePolicy(StatePolicy):
 
     def choose_host(self, job, state) -> int:
         return int(np.argmin(state.queue_lengths()))
+
+    def choose_live_host(self, job, state, up) -> int:
+        lengths = np.where(up, state.queue_lengths(), np.inf)
+        return int(np.argmin(lengths))
 
 
 class LeastWorkLeftPolicy(StatePolicy):
@@ -79,6 +100,10 @@ class LeastWorkLeftPolicy(StatePolicy):
 
     def choose_host(self, job, state) -> int:
         return int(np.argmin(state.work_left()))
+
+    def choose_live_host(self, job, state, up) -> int:
+        work = np.where(up, state.work_left(), np.inf)
+        return int(np.argmin(work))
 
 
 class CentralQueuePolicy(Policy):

@@ -35,7 +35,7 @@ from typing import Sequence
 
 import numpy as np
 
-from .base import StatePolicy, StaticPolicy
+from .base import StatePolicy, StaticPolicy, nearest_live_host
 
 __all__ = ["SITAPolicy", "GroupedSITAPolicy", "validate_cutoffs"]
 
@@ -133,3 +133,14 @@ class GroupedSITAPolicy(StatePolicy):
         grp = self.group_slice(job.size_estimate <= self.cutoff)
         work = state.work_left()[grp]
         return grp.start + int(np.argmin(work))
+
+    def choose_live_host(self, job, state, up) -> int:
+        # Least-Work-Left among the *live* hosts of the job's size group;
+        # if the whole group is down, spill to the nearest live host
+        # outside it (the plain-SITA spill rule).
+        grp = self.group_slice(job.size_estimate <= self.cutoff)
+        work = state.work_left()[grp]
+        group_up = up[grp]
+        if group_up.any():
+            return grp.start + int(np.argmin(np.where(group_up, work, np.inf)))
+        return nearest_live_host(grp.start + int(np.argmin(work)), up)

@@ -31,6 +31,7 @@ from . import ablations4 as _ablations4  # noqa: F401
 from . import ablations5 as _ablations5  # noqa: F401
 from . import ablations6 as _ablations6  # noqa: F401
 from . import ablations7 as _ablations7  # noqa: F401
+from . import failures as _failures  # noqa: F401
 
 __all__ = [
     "ascii_chart",

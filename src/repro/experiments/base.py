@@ -5,22 +5,50 @@ Every paper table/figure has a driver function registered under its id
 :class:`ExperimentConfig` and returns an :class:`ExperimentResult` — a
 list of rows (dicts) with a fixed column order, renderable as an aligned
 text table (what the benchmark harness prints) or CSV.
+
+Long sweeps additionally get crash safety (see docs/ROBUSTNESS.md):
+
+* :class:`Checkpoint` — an atomic per-point result store.  Every
+  completed (policy, load, replication) point is written to its own JSON
+  file via write-to-temp + fsync + rename, so a checkpoint directory is
+  always a set of complete points no matter when the process dies.
+* :func:`run_experiment` accepts ``checkpoint_dir``/``resume``: with
+  ``resume=True`` a re-run skips every point already on disk and
+  recomputes only the missing ones, producing the same result the
+  uninterrupted run would have.
+* :func:`run_point` — bounded timeout/retry for a single simulated
+  point, so one pathological point cannot hang an entire sweep.
 """
 
 from __future__ import annotations
 
 import csv
-from dataclasses import dataclass, replace
+import hashlib
+import json
+import math
+import os
+import signal
+import threading
+import time
+import warnings
+from contextlib import contextmanager
+from dataclasses import dataclass, fields, replace
 from pathlib import Path
-from typing import Callable
+from typing import Any, Callable, Iterator
 
 __all__ = [
+    "Checkpoint",
     "ExperimentConfig",
     "ExperimentResult",
+    "PointTimeout",
+    "active_checkpoint",
+    "checkpointed",
+    "config_signature",
     "experiment",
     "get_experiment",
     "list_experiments",
     "run_experiment",
+    "run_point",
 ]
 
 
@@ -46,6 +74,55 @@ class ExperimentConfig:
     max_load: float = 0.95
     #: number of independent replications averaged per simulated point.
     replications: int = 1
+    #: wall-clock budget per simulated point in seconds (None = unlimited).
+    point_timeout: float | None = None
+    #: how many times a timed-out point is retried (with linear backoff)
+    #: before the timeout propagates.
+    point_retries: int = 1
+
+    def __post_init__(self) -> None:
+        if not (isinstance(self.scale, (int, float)) and 0 < self.scale
+                and math.isfinite(self.scale)):
+            raise ValueError(
+                f"scale must be a positive finite number, got {self.scale!r}; "
+                "use e.g. scale=0.1 for a quick run, 1.0 for paper scale"
+            )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool) or self.seed < 0:
+            raise ValueError(
+                f"seed must be a non-negative integer, got {self.seed!r}"
+            )
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ValueError(
+                f"warmup_fraction must be in [0, 1), got {self.warmup_fraction!r}; "
+                "it is the fraction of jobs dropped before computing statistics"
+            )
+        if not self.loads:
+            raise ValueError("loads must name at least one system load")
+        for load in self.loads:
+            if not (0.0 < load < 1.0):
+                raise ValueError(
+                    f"every load must be in (0, 1) — the system is unstable at "
+                    f"load >= 1 — got {load!r} in loads={self.loads!r}"
+                )
+        if not (0.0 < self.max_load < 1.0):
+            raise ValueError(
+                f"max_load must be in (0, 1), got {self.max_load!r}"
+            )
+        if not isinstance(self.replications, int) or self.replications < 1:
+            raise ValueError(
+                f"replications must be a positive integer, got "
+                f"{self.replications!r}"
+            )
+        if self.point_timeout is not None and not self.point_timeout > 0:
+            raise ValueError(
+                f"point_timeout must be positive seconds or None, got "
+                f"{self.point_timeout!r}"
+            )
+        if not isinstance(self.point_retries, int) or self.point_retries < 0:
+            raise ValueError(
+                f"point_retries must be a non-negative integer, got "
+                f"{self.point_retries!r}"
+            )
 
     def jobs(self, base: int) -> int:
         """Scale a driver's base job count (floor of 2000 jobs)."""
@@ -140,9 +217,210 @@ def list_experiments() -> list[tuple[str, str]]:
     return sorted((eid, title) for eid, (title, _) in _REGISTRY.items())
 
 
+# ----------------------------------------------------------------------
+# crash-safe checkpointing
+# ----------------------------------------------------------------------
+
+
+def config_signature(experiment_id: str, config: ExperimentConfig) -> str:
+    """Stable fingerprint of (experiment, config) for checkpoint keys.
+
+    Two runs may share checkpointed points only if every knob that can
+    change a simulated result agrees; folding the signature into each
+    stored entry makes stale checkpoints from a different configuration
+    invisible rather than silently wrong.
+    """
+    parts = [experiment_id]
+    for f in fields(config):
+        parts.append(f"{f.name}={getattr(config, f.name)!r}")
+    return ";".join(parts)
+
+
+class Checkpoint:
+    """Atomic per-point result store backing ``--resume``.
+
+    One JSON file per completed point, named by a hash of the point key.
+    Writes go to a temporary file in the same directory, are fsynced and
+    then atomically renamed into place, so a reader (including a resumed
+    run after SIGKILL) only ever sees complete entries.  Floats survive
+    the JSON round trip bit-exactly (``repr``-based serialisation), which
+    is what makes a resumed sweep identical to an uninterrupted one.
+    """
+
+    def __init__(self, directory: str | Path, signature: str = "") -> None:
+        self.directory = Path(directory)
+        self.signature = signature
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._puts = 0
+
+    def _path(self, key: str) -> Path:
+        digest = hashlib.blake2s(
+            f"{self.signature}::{key}".encode(), digest_size=12
+        ).hexdigest()
+        return self.directory / f"{digest}.json"
+
+    def get(self, key: str) -> Any | None:
+        """Stored value for ``key``, or None if absent/corrupt/stale."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+        if payload.get("key") != key or payload.get("signature") != self.signature:
+            return None
+        return payload["value"]
+
+    def put(self, key: str, value: Any) -> None:
+        """Atomically persist ``value`` (must be JSON-serialisable)."""
+        payload = {"signature": self.signature, "key": key, "value": value}
+        data = json.dumps(payload, sort_keys=True)
+        path = self._path(key)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        with tmp.open("w") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        self._puts += 1
+        kill_after = os.environ.get("REPRO_CHECKPOINT_KILL_AFTER")
+        if kill_after and self._puts >= int(kill_after):
+            # Test hook: die abruptly after N completed points, so the
+            # resume path can be exercised deterministically (CI does).
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def clear(self) -> None:
+        """Drop every stored point (a fresh, non-resumed run starts here)."""
+        for path in self.directory.glob("*.json"):
+            path.unlink(missing_ok=True)
+
+
+#: checkpoint consulted by :func:`checkpointed` (None = checkpointing off).
+_ACTIVE_CHECKPOINT: Checkpoint | None = None
+
+
+@contextmanager
+def active_checkpoint(checkpoint: Checkpoint | None) -> Iterator[Checkpoint | None]:
+    """Install ``checkpoint`` for the duration of an experiment run."""
+    global _ACTIVE_CHECKPOINT
+    previous = _ACTIVE_CHECKPOINT
+    _ACTIVE_CHECKPOINT = checkpoint
+    try:
+        yield checkpoint
+    finally:
+        _ACTIVE_CHECKPOINT = previous
+
+
+def checkpointed(key: str, compute: Callable[[], Any]) -> Any:
+    """Return the checkpointed value for ``key``, computing and storing
+    it on a miss.  With no active checkpoint this is just ``compute()``.
+
+    The value must be JSON-serialisable; callers own the (de)serialised
+    shape.  This is the single hook experiment drivers need: wrap each
+    per-(policy, load, replication) point and crash-safe resume follows.
+    """
+    if _ACTIVE_CHECKPOINT is None:
+        return compute()
+    cached = _ACTIVE_CHECKPOINT.get(key)
+    if cached is not None:
+        return cached
+    value = compute()
+    _ACTIVE_CHECKPOINT.put(key, value)
+    return value
+
+
+# ----------------------------------------------------------------------
+# per-point timeout with bounded retry
+# ----------------------------------------------------------------------
+
+
+class PointTimeout(RuntimeError):
+    """A single simulated point exceeded its wall-clock budget."""
+
+
+@contextmanager
+def _alarm(seconds: float) -> Iterator[None]:
+    def _on_alarm(signum, frame):
+        raise PointTimeout(f"point exceeded {seconds:g}s wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def run_point(
+    compute: Callable[[], Any],
+    timeout: float | None = None,
+    retries: int = 0,
+    backoff: float = 0.5,
+    label: str = "point",
+) -> Any:
+    """Run one simulated point under a wall-clock budget.
+
+    A point that overruns ``timeout`` seconds is aborted via ``SIGALRM``
+    and retried up to ``retries`` times with linear backoff (timeouts on
+    a loaded machine are usually transient); the final attempt's
+    :class:`PointTimeout` propagates.  With ``timeout=None``, off the
+    main thread, or on platforms without ``SIGALRM``, the budget is not
+    enforceable and ``compute`` runs unbounded.
+    """
+    can_alarm = (
+        timeout is not None
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not can_alarm:
+        return compute()
+    attempt = 0
+    while True:
+        try:
+            with _alarm(timeout):
+                return compute()
+        except PointTimeout:
+            attempt += 1
+            if attempt > retries:
+                raise
+            warnings.warn(
+                f"{label}: timed out after {timeout:g}s "
+                f"(attempt {attempt}/{retries + 1}); retrying",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            time.sleep(backoff * attempt)
+
+
 def run_experiment(
-    experiment_id: str, config: ExperimentConfig | None = None
+    experiment_id: str,
+    config: ExperimentConfig | None = None,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
 ) -> ExperimentResult:
-    """Run one registered experiment (default full-scale config)."""
+    """Run one registered experiment (default full-scale config).
+
+    With ``checkpoint_dir`` every completed point is persisted atomically
+    under ``<checkpoint_dir>/<experiment_id>/``; ``resume=True`` reuses
+    the points already there (same experiment *and* same config — stale
+    entries are ignored via :func:`config_signature`), so a run killed
+    mid-sweep picks up where it left off and produces the same rows an
+    uninterrupted run would.  Without ``resume`` an existing checkpoint
+    directory is cleared first: a fresh run never silently reuses old
+    points.
+    """
     fn = get_experiment(experiment_id)
-    return fn(config if config is not None else ExperimentConfig())
+    config = config if config is not None else ExperimentConfig()
+    if checkpoint_dir is None:
+        return fn(config)
+    checkpoint = Checkpoint(
+        Path(checkpoint_dir) / experiment_id,
+        signature=config_signature(experiment_id, config),
+    )
+    if not resume:
+        checkpoint.clear()
+    with active_checkpoint(checkpoint):
+        return fn(config)

@@ -17,6 +17,7 @@ The paper's protocol, encoded once:
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass
 
@@ -35,13 +36,15 @@ from ..core.policies import (
     SITAPolicy,
     ShortestQueuePolicy,
 )
+from ..sim.faults import FaultModel
 from ..sim.metrics import Summary
 from ..sim.runner import simulate
 from ..workloads.arrivals import ArrivalProcess
 from ..workloads.distributions import Empirical, ServiceDistribution
 from ..workloads.synthetic import SyntheticWorkload
 from ..workloads.traces import Trace
-from .base import ExperimentConfig
+from .base import ExperimentConfig, checkpointed
+from .base import run_point as base_run_point
 
 __all__ = [
     "SweepPoint",
@@ -73,14 +76,46 @@ class SweepPoint:
     load: float
     n_hosts: int
     summary: Summary
+    #: True when the fast kernel failed its output check and this point
+    #: was gracefully re-run on the event engine (see docs/ROBUSTNESS.md).
+    fallback: bool = False
+    #: fault-injection statistics (all zero without a fault model).
+    n_lost: int = 0
+    n_failures: int = 0
+    host_downtime: float = 0.0
+    #: mean slowdown of jobs below/above ``class_cutoff`` (NaN when no
+    #: cutoff was requested) — the paper's fairness conditioning.
+    short_slowdown: float = math.nan
+    long_slowdown: float = math.nan
 
     def as_row(self) -> dict:
-        return {
+        row = {
             "policy": self.policy,
             "load": self.load,
             "n_hosts": self.n_hosts,
             **self.summary.as_row(),
+            "fallback": self.fallback,
+            "n_lost": self.n_lost,
+            "n_failures": self.n_failures,
+            "host_downtime": self.host_downtime,
         }
+        # The fairness split is only present when a cutoff was requested;
+        # NaN placeholders would poison row equality (NaN != NaN).
+        if not math.isnan(self.short_slowdown):
+            row["short_slowdown"] = self.short_slowdown
+            row["long_slowdown"] = self.long_slowdown
+        return row
+
+    def to_json(self) -> dict:
+        """JSON-serialisable form (floats round-trip bit-exactly)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_json(cls, d: dict) -> "SweepPoint":
+        s = dict(d["summary"])
+        s["host_load_fraction"] = tuple(s["host_load_fraction"])
+        s["host_job_fraction"] = tuple(s["host_job_fraction"])
+        return cls(**{**d, "summary": Summary(**s)})
 
 
 def make_split_trace(
@@ -128,15 +163,58 @@ def evaluate_policy(
     n_hosts: int,
     config: ExperimentConfig,
     seed: int,
+    faults: FaultModel | None = None,
+    class_cutoff: float | None = None,
 ) -> SweepPoint:
-    """Run one policy on the evaluation trace and summarise."""
-    result = simulate(test, policy, n_hosts, rng=seed)
-    return SweepPoint(
-        policy=policy.name,
-        load=load,
-        n_hosts=n_hosts,
-        summary=result.summary(warmup_fraction=config.warmup_fraction),
+    """Run one policy on the evaluation trace and summarise.
+
+    This is the harness's one simulated-point entry: it consults the
+    active checkpoint (so ``--resume`` skips completed points), enforces
+    the config's per-point wall-clock budget, and degrades gracefully
+    from the fast kernels to the event engine (``fallback`` records
+    that).  With ``faults`` the point runs under fault injection; with
+    ``class_cutoff`` the short/long mean slowdowns are recorded for
+    fairness reporting.
+    """
+    key = "|".join(
+        [
+            f"policy={policy.name}",
+            f"h={n_hosts}",
+            f"load={load!r}",
+            f"seed={seed}",
+            f"faults={faults.describe() if faults is not None else 'none'}",
+            f"cutoff={class_cutoff!r}",
+        ]
     )
+
+    def compute() -> dict:
+        result = base_run_point(
+            lambda: simulate(
+                test, policy, n_hosts, rng=seed, faults=faults,
+                on_kernel_failure="fallback",
+            ),
+            timeout=config.point_timeout,
+            retries=config.point_retries,
+            label=f"{policy.name} @ load {load:g}",
+        )
+        trimmed = result.trimmed(warmup_fraction=config.warmup_fraction)
+        short = long = math.nan
+        if class_cutoff is not None:
+            short, long = trimmed.class_mean_slowdowns(class_cutoff)
+        return SweepPoint(
+            policy=policy.name,
+            load=load,
+            n_hosts=n_hosts,
+            summary=result.summary(warmup_fraction=config.warmup_fraction),
+            fallback=result.backend == "event-fallback",
+            n_lost=result.n_lost,
+            n_failures=result.n_failures,
+            host_downtime=result.host_downtime,
+            short_slowdown=short,
+            long_slowdown=long,
+        ).to_json()
+
+    return SweepPoint.from_json(checkpointed(key, compute))
 
 
 def aggregate_replications(rows: list[dict]) -> dict:
@@ -153,7 +231,11 @@ def aggregate_replications(rows: list[dict]) -> dict:
     out: dict = {}
     for key in rows[0]:
         values = [r[key] for r in rows]
-        if isinstance(values[0], (int, float)) and not isinstance(values[0], bool):
+        if isinstance(values[0], bool):
+            # e.g. the fast-kernel ``fallback`` flag: the aggregate is
+            # flagged if *any* replication had to fall back.
+            out[key] = any(values)
+        elif isinstance(values[0], (int, float)):
             # Keep shared coordinates (load, n_hosts) exact.
             if all(v == values[0] for v in values):
                 out[key] = values[0]

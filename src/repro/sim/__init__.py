@@ -9,6 +9,7 @@ from .engine import (
 )
 from .events import Event, EventHandle
 from .fast import fcfs_waits, lwl_waits, shortest_queue_waits, simulate_fast
+from .faults import FaultInjector, FaultModel
 from .host import FCFSHost
 from .jobs import Job
 from .metrics import (
@@ -34,6 +35,8 @@ __all__ = [
     "lwl_waits",
     "shortest_queue_waits",
     "simulate_fast",
+    "FaultInjector",
+    "FaultModel",
     "FCFSHost",
     "Job",
     "SimulationResult",

@@ -105,6 +105,7 @@ class Simulator:
         self._events_processed = 0
         self._strict = strict_from_env() if strict is None else bool(strict)
         self._checkers: list[Callable[["Simulator"], None]] = []
+        self._stopped = False
 
     @property
     def now(self) -> float:
@@ -132,6 +133,22 @@ class Simulator:
     def events_processed(self) -> int:
         """Number of callbacks executed so far."""
         return self._events_processed
+
+    @property
+    def stopped(self) -> bool:
+        """Whether :meth:`stop` has been called."""
+        return self._stopped
+
+    def stop(self) -> None:
+        """Ask :meth:`run` to return before the next event.
+
+        Needed by components that schedule *unbounded* event streams —
+        the fault injector's crash/repair processes never drain on their
+        own, so the server calls ``stop()`` once every job is accounted
+        for.  Pending events stay in the calendar; a subsequent
+        :meth:`run` call would resume from where the clock stopped.
+        """
+        self._stopped = True
 
     @property
     def pending(self) -> int:
@@ -195,7 +212,10 @@ class Simulator:
             Safety valve: stop after this many callbacks.
         """
         executed = 0
+        self._stopped = False
         while self._heap:
+            if self._stopped:
+                return
             if max_events is not None and executed >= max_events:
                 return
             head = self._heap[0]

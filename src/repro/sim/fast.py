@@ -35,6 +35,7 @@ import numpy as np
 
 from ..workloads.distributions import _as_rng
 from ..workloads.traces import Trace
+from .engine import InvariantViolation
 from .metrics import SimulationResult, observe_result
 
 __all__ = [
@@ -45,6 +46,28 @@ __all__ = [
     "tags_waits",
     "simulate_fast",
 ]
+
+
+def _check_kernel_output(policy_name: str, waits: np.ndarray) -> None:
+    """Sanity-check a kernel's waits before they become a result.
+
+    The vectorised kernels trade legibility for speed; if one ever
+    produces a non-finite or materially negative wait (a kernel bug or a
+    pathological input), raise
+    :class:`~repro.sim.engine.InvariantViolation` so callers can fall
+    back to the reference event engine for that point instead of
+    aborting a multi-hour sweep (see ``repro.sim.runner.simulate``'s
+    ``on_kernel_failure``).
+    """
+    if not np.all(np.isfinite(waits)):
+        raise InvariantViolation(
+            f"fast kernel produced non-finite waits for {policy_name}"
+        )
+    if waits.size and float(np.min(waits)) < -1e-6:
+        raise InvariantViolation(
+            f"fast kernel produced negative waits for {policy_name} "
+            f"(min {float(np.min(waits)):.3e})"
+        )
 
 
 def fcfs_waits(arrival_times: np.ndarray, sizes: np.ndarray) -> np.ndarray:
@@ -363,6 +386,7 @@ def simulate_fast(
         # response − size cancels to float noise for zero-wait jobs on
         # long horizons; clamp (real violations would be far larger).
         tags_w = np.maximum(responses - s, 0.0)
+        _check_kernel_output(getattr(policy, "name", type(policy).__name__), tags_w)
         result = SimulationResult(
             policy_name=getattr(policy, "name", type(policy).__name__),
             n_hosts=n_hosts,
@@ -371,12 +395,14 @@ def simulate_fast(
             wait_times=tags_w,
             host_assignments=assignment,
             wasted_work=wasted,
+            backend="fast",
         )
         observe_result(result)
         return result
     else:
         raise ValueError(f"unsupported policy kind={kind!r}, fast_hint={hint!r}")
 
+    _check_kernel_output(getattr(policy, "name", type(policy).__name__), waits)
     result = SimulationResult(
         policy_name=getattr(policy, "name", type(policy).__name__),
         n_hosts=n_hosts,
@@ -385,6 +411,7 @@ def simulate_fast(
         wait_times=waits,
         host_assignments=assignment,
         processing_times=None if uniform else durations,
+        backend="fast",
     )
     observe_result(result)
     return result

@@ -13,6 +13,15 @@ Hosts optionally enforce a processing *limit* (kill the running job after
 extension (task assignment by guessing size, the paper's ref [10]) kills
 jobs that exceed a host's size cutoff and restarts them from scratch on
 the next host.
+
+Hosts can also *crash* and be *repaired* (fault injection, see
+:mod:`repro.sim.faults`): :meth:`FCFSHost.crash` takes the host down,
+cancelling the in-flight completion event and either keeping the running
+job's progress for a later resume or surrendering it (and the queue) to
+the server, and :meth:`FCFSHost.repair` brings it back, restarting
+service from the retained progress.  The failure *semantics* — lost,
+re-dispatch or resume — live in the server; the host only implements the
+mechanics.
 """
 
 from __future__ import annotations
@@ -22,6 +31,7 @@ from collections import deque
 from typing import Callable
 
 from .engine import Simulator
+from .events import EventHandle
 from .jobs import Job
 
 __all__ = ["FCFSHost"]
@@ -77,6 +87,16 @@ class FCFSHost:
         #: Total service delivered to jobs later evicted (wasted).
         self.wasted_time = 0.0
         self.jobs_completed = 0
+        #: False while crashed (fault injection); down hosts accept no work.
+        self.up = True
+        #: Job whose progress survived a crash, waiting for repair
+        #: ("resume" failure semantics).
+        self.interrupted: Job | None = None
+        self._interrupted_done = 0.0
+        self._finish_handle: EventHandle | None = None
+        self._leg_start = 0.0
+        self._running_done = 0.0
+        self._submit_seq = 0
 
     # ------------------------------------------------------------------
     # state inspected by dispatch policies
@@ -84,8 +104,16 @@ class FCFSHost:
 
     @property
     def n_in_system(self) -> int:
-        """Jobs queued plus the one running (Shortest-Queue's metric)."""
-        return len(self.queue) + (1 if self.running is not None else 0)
+        """Jobs queued plus the one running (Shortest-Queue's metric).
+
+        A job interrupted by a crash and awaiting resume still occupies
+        the host and counts here.
+        """
+        return (
+            len(self.queue)
+            + (1 if self.running is not None else 0)
+            + (1 if self.interrupted is not None else 0)
+        )
 
     def work_left(self, now: float) -> float:
         """Unfinished work at ``now`` assuming true sizes (LWL's metric)."""
@@ -98,7 +126,10 @@ class FCFSHost:
 
     @property
     def idle(self) -> bool:
-        return self.running is None and not self.queue
+        """No work anywhere on the host (a down host may still hold work)."""
+        return (
+            self.running is None and not self.queue and self.interrupted is None
+        )
 
     # ------------------------------------------------------------------
     # job flow
@@ -110,7 +141,13 @@ class FCFSHost:
 
     def submit(self, job: Job) -> None:
         """Enqueue ``job``; starts immediately if the host is idle."""
+        if not self.up:
+            raise RuntimeError(
+                f"cannot submit job {job.index} to host {self.host_id}: host is down"
+            )
         job.assigned_host = self.host_id
+        job.host_seq = self._submit_seq
+        self._submit_seq += 1
         now = self.sim.now
         self._virtual_completion = max(self._virtual_completion, now) + self._service_here(job)
         self.queue.append(job)
@@ -122,15 +159,22 @@ class FCFSHost:
         if not self.queue:
             return
         job = self.queue.popleft()
-        self.running = job
         job.start_time = self.sim.now
-        service = self._service_here(job)
-        self.sim.schedule_after(service, self._finish, job, service)
+        self._begin(job, done=0.0)
+
+    def _begin(self, job: Job, done: float) -> None:
+        """Put ``job`` in service with ``done`` work units already banked."""
+        self.running = job
+        self._running_done = done
+        self._leg_start = self.sim.now
+        leg = (min(job.size, self.limit) - done) / self.speed
+        self._finish_handle = self.sim.schedule_after(leg, self._finish, job, leg)
 
     def _finish(self, job: Job, service: float) -> None:
         assert self.running is job
         self.running = None
-        evicted = service * self.speed < job.size
+        self._finish_handle = None
+        evicted = job.size > self.limit
         if evicted:
             self.wasted_time += service
             job.wasted_work += service
@@ -144,7 +188,9 @@ class FCFSHost:
             self.busy_time += service
             job.completion_time = self.sim.now
             if self.speed != 1.0:
-                job.processing_time = service
+                # Total occupancy across every resumed leg; service alone
+                # would under-count a job interrupted by a crash.
+                job.processing_time = job.size / self.speed
             self.jobs_completed += 1
         # Start the next queued job before notifying, so simultaneous
         # re-dispatch (central queue) sees a consistent host state.
@@ -153,3 +199,81 @@ class FCFSHost:
             self.on_eviction(self, job)
         else:
             self.on_completion(self, job)
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+
+    def crash(self, keep_progress: bool) -> tuple[Job | None, float, list[Job]]:
+        """Take the host down; cancel the in-flight completion.
+
+        Parameters
+        ----------
+        keep_progress:
+            ``True`` ("resume" semantics): the running job's progress is
+            banked on the host and the queue stays put, waiting for
+            :meth:`repair`.  ``False`` ("lost"/"redispatch"): the running
+            job's partial service is wasted and both it and the queued
+            jobs are surrendered to the caller.
+
+        Returns
+        -------
+        tuple
+            ``(victim, work_done, drained)`` — the job that was in
+            service (``None`` if the host was idle), the work units it
+            had completed, and the queued jobs removed from the host
+            (always empty when ``keep_progress``).
+        """
+        if not self.up:
+            raise RuntimeError(f"host {self.host_id} is already down")
+        self.up = False
+        victim = self.running
+        done = 0.0
+        if victim is not None:
+            assert self._finish_handle is not None
+            self._finish_handle.cancel()
+            self._finish_handle = None
+            self.running = None
+            elapsed = self.sim.now - self._leg_start
+            done = self._running_done + elapsed * self.speed
+            if keep_progress:
+                self.busy_time += elapsed
+                self.interrupted = victim
+                self._interrupted_done = done
+            else:
+                self.wasted_time += elapsed
+                victim.wasted_work += elapsed * self.speed
+        drained: list[Job] = []
+        if keep_progress:
+            return victim, done, drained
+        drained = list(self.queue)
+        self.queue.clear()
+        # Nothing is left on the host; remaining work drops to zero.
+        self._virtual_completion = self.sim.now
+        return victim, done, drained
+
+    def repair(self) -> Job | None:
+        """Bring the host back up; resume or restart service.
+
+        Returns the job that resumed from banked progress, if any (so the
+        server can count the interruption against it).
+        """
+        if self.up:
+            raise RuntimeError(f"host {self.host_id} is not down")
+        self.up = True
+        now = self.sim.now
+        resumed = self.interrupted
+        # Remaining work moved wholesale past the repair: recompute the
+        # virtual completion instead of patching it leg by leg.
+        backlog = sum(self._service_here(j) for j in self.queue)
+        if resumed is not None:
+            self.interrupted = None
+            done = self._interrupted_done
+            self._interrupted_done = 0.0
+            backlog += (min(resumed.size, self.limit) - done) / self.speed
+            self._virtual_completion = now + backlog
+            self._begin(resumed, done=done)
+        else:
+            self._virtual_completion = now + backlog
+            self._start_next()
+        return resumed

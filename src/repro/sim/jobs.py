@@ -30,6 +30,15 @@ class Job:
     processing_time: float | None = None
     #: Number of times the job was killed and restarted (TAGS only).
     restarts: int = 0
+    #: True once a host crash destroyed the job ("lost" failure semantics).
+    lost: bool = False
+    #: Number of host crashes that hit this job while in service
+    #: (fault injection; counts both re-dispatches and resumed legs).
+    interruptions: int = 0
+    #: Per-host FCFS stamp assigned on submission — the strict-mode FCFS
+    #: invariant orders queues by this, not by job index, because
+    #: re-dispatch after a crash legitimately reorders indices.
+    host_seq: int = -1
 
     def __post_init__(self) -> None:
         if self.size <= 0:

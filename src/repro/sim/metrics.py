@@ -162,6 +162,17 @@ class SimulationResult:
     #: (unit-speed hosts).  Differs on heterogeneous-speed hosts, where a
     #: nominal size x runs for x/speed seconds.
     processing_times: np.ndarray | None = None
+    #: jobs destroyed by host crashes ("lost" failure semantics); lost
+    #: jobs never complete, so they appear in no per-job array.
+    n_lost: int = 0
+    #: host crashes injected during the run (0 without fault injection).
+    n_failures: int = 0
+    #: cumulative host down-time over the run, in simulated seconds.
+    host_downtime: float = 0.0
+    #: which simulator produced this result ("fast", "event" or
+    #: "event-fallback" when the fast kernel failed and the run was
+    #: gracefully retried on the event engine); "" when unrecorded.
+    backend: str = ""
 
     def __post_init__(self) -> None:
         n = self.arrival_times.size
@@ -207,6 +218,13 @@ class SimulationResult:
                 precision=precision,
             ).encode()
         )
+        # Fault-free runs keep their historical digests; only runs that
+        # actually saw failures fold the fault statistics in.
+        if self.n_lost or self.n_failures:
+            h.update(
+                f"faults:{self.n_lost}:{self.n_failures}:"
+                f"{self.host_downtime!r}".encode()
+            )
         return h.hexdigest()
 
     @property
@@ -247,6 +265,10 @@ class SimulationResult:
             processing_times=None
             if self.processing_times is None
             else self.processing_times[start:],
+            n_lost=self.n_lost,
+            n_failures=self.n_failures,
+            host_downtime=self.host_downtime,
+            backend=self.backend,
         )
 
     def summary(self, warmup_fraction: float = 0.0) -> Summary:

@@ -31,6 +31,7 @@ import numpy as np
 from ..workloads.distributions import _as_rng
 from ..workloads.traces import Trace
 from .engine import InvariantViolation, Simulator
+from .faults import FaultInjector, FaultModel
 from .host import FCFSHost
 from .jobs import Job
 from .metrics import SimulationResult, observe_result
@@ -63,6 +64,10 @@ class SystemState:
         """Jobs in system (queued + running) at each host."""
         return np.array([h.n_in_system for h in self._server.hosts])
 
+    def up_mask(self) -> np.ndarray:
+        """Boolean mask of live hosts (all True without fault injection)."""
+        return np.array([h.up for h in self._server.hosts], dtype=bool)
+
 
 class DistributedServer:
     """Event-driven distributed server fed by a :class:`Trace`.
@@ -79,10 +84,17 @@ class DistributedServer:
         Run under the engine sanitizer: after every event the server
         re-asserts monotone clock, non-negative remaining work, FCFS
         order per host and conservation of jobs (arrived = queued +
-        running + completed), raising
+        running + completed + deferred + lost), raising
         :class:`~repro.sim.engine.InvariantViolation` on the first
         breach.  ``None`` defers to the ``REPRO_SIM_STRICT`` environment
         variable (see :func:`~repro.sim.engine.strict_from_env`).
+    faults:
+        Optional :class:`~repro.sim.faults.FaultModel` enabling per-host
+        crash/repair processes (see :mod:`repro.sim.faults` and
+        ``docs/ROBUSTNESS.md``).  ``None`` keeps the classical reliable
+        server, bit-identical to the pre-fault behaviour.  Not supported
+        together with TAGS, whose eviction cascade assumes reliable
+        hosts.
     """
 
     def __init__(
@@ -92,12 +104,18 @@ class DistributedServer:
         rng: np.random.Generator | int | None = None,
         host_speeds=None,
         strict: bool | None = None,
+        faults: FaultModel | None = None,
     ) -> None:
         if n_hosts < 1:
             raise ValueError(f"n_hosts must be >= 1, got {n_hosts}")
         kind = getattr(policy, "kind", None)
         if kind not in ("static", "state", "central", "tags"):
             raise ValueError(f"policy {policy!r} has unsupported kind {kind!r}")
+        if faults is not None and kind == "tags":
+            raise ValueError(
+                "fault injection is not supported with TAGS: its eviction "
+                "cascade assumes reliable hosts"
+            )
         if kind == "tags" and n_hosts != len(policy.cutoffs) + 1:
             raise ValueError(
                 f"TAGS with {len(policy.cutoffs)} cutoffs needs "
@@ -141,7 +159,15 @@ class DistributedServer:
         self.state = SystemState(self)
         self.central_queue: deque[Job] = deque()
         self._completed: list[Job] = []
+        self._lost: list[Job] = []
+        #: arrivals held at the dispatcher because every host was down.
+        self._deferred: deque[Job] = deque()
         self._n_arrived = 0
+        self._expected: int | None = None
+        self.faults = faults
+        self.fault_injector = (
+            FaultInjector(faults, n_hosts) if faults is not None else None
+        )
         if self.sim.strict:
             self.sim.add_invariant_checker(self._check_invariants)
         policy.reset(n_hosts, self.rng)
@@ -152,12 +178,30 @@ class DistributedServer:
 
     def _handle_arrival(self, job: Job) -> None:
         self._n_arrived += 1
+        self._dispatch(job)
+
+    def _dispatch(self, job: Job) -> None:
+        """Route one job (a fresh arrival or a crash re-dispatch)."""
         kind = self.policy.kind
         if kind == "central":
             self.central_queue.append(job)
             self._feed_idle_hosts()
         elif kind == "tags":
             self.hosts[0].submit(job)
+        elif self.fault_injector is not None:
+            up = self.state.up_mask()
+            if not up.any():
+                # Every host is down; hold the job at the dispatcher and
+                # flush it (FCFS) at the next repair.
+                self._deferred.append(job)
+                return
+            host_idx = int(self.policy.choose_live_host(job, self.state, up))
+            if not 0 <= host_idx < len(self.hosts) or not up[host_idx]:
+                raise ValueError(
+                    f"policy returned invalid or down host {host_idx} "
+                    f"for job {job.index}"
+                )
+            self.hosts[host_idx].submit(job)
         else:
             host_idx = self.policy.choose_host(job, self.state)
             if not 0 <= host_idx < len(self.hosts):
@@ -170,6 +214,8 @@ class DistributedServer:
         self._completed.append(job)
         if self.policy.kind == "central":
             self._feed_idle_hosts()
+        if self.fault_injector is not None:
+            self._maybe_finish()
 
     def _handle_eviction(self, host: FCFSHost, job: Job) -> None:
         nxt = host.host_id + 1
@@ -192,8 +238,64 @@ class DistributedServer:
         for host in self.hosts:
             if not self.central_queue:
                 return
-            if host.idle:
+            if host.up and host.idle:
                 host.submit(self._pop_central())
+
+    # ------------------------------------------------------------------
+    # fault injection (called by the FaultInjector)
+    # ------------------------------------------------------------------
+
+    def crash_host(self, host_id: int) -> None:
+        """A host just failed; apply the configured failure semantics.
+
+        ``resume``: the host banks the running job's progress and keeps
+        its queue.  ``lost``: the running job is destroyed; queued jobs
+        (which received no service) are re-dispatched to live hosts.
+        ``redispatch``: like ``lost`` but the running job re-enters the
+        dispatcher from scratch, its partial service counted as wasted
+        work.
+        """
+        assert self.faults is not None
+        semantics = self.faults.semantics
+        keep = semantics == "resume"
+        victim, _done, drained = self.hosts[host_id].crash(keep_progress=keep)
+        if victim is not None:
+            victim.interruptions += 1
+        if keep:
+            return
+        if victim is not None:
+            if semantics == "lost":
+                victim.lost = True
+                self._lost.append(victim)
+                self._maybe_finish()
+            elif self.policy.kind == "central":
+                # The victim arrived before anything still queued centrally.
+                victim.restarts += 1
+                self.central_queue.appendleft(victim)
+            else:
+                victim.restarts += 1
+                self._dispatch(victim)
+        for job in drained:
+            self._dispatch(job)
+
+    def repair_host(self, host_id: int) -> None:
+        """A host came back; restart its service and drain the dispatcher."""
+        self.hosts[host_id].repair()
+        while self._deferred:
+            self._dispatch(self._deferred.popleft())
+        if self.policy.kind == "central":
+            self._feed_idle_hosts()
+
+    def _maybe_finish(self) -> None:
+        """Stop the clock once every expected job completed or was lost.
+
+        Without this the fault injector's crash/repair stream would keep
+        the calendar alive forever.
+        """
+        if self._expected is None:
+            return
+        if len(self._completed) + len(self._lost) >= self._expected:
+            self.sim.stop()
 
     # ------------------------------------------------------------------
     # strict-mode sanitizer
@@ -209,15 +311,24 @@ class DistributedServer:
            time is never in the past (up to float tolerance on long
            horizons);
         2. *FCFS order per host*: jobs wait in the order they were
-           dispatched — arrival (or, under TAGS, eviction) order equals
-           job-index order on every backlog;
-        3. *conservation of jobs*: every arrival is queued, running or
-           completed — nothing is lost or duplicated.
+           dispatched — submission (``host_seq``) order on every backlog.
+           (Job-*index* order would be too strong: a crash re-dispatch
+           legitimately places an old job behind newer ones.)
+        3. *conservation of jobs*: every arrival is queued, running,
+           interrupted by a crash, held at the dispatcher, completed or
+           lost — nothing disappears untracked and nothing is duplicated;
+        4. *down hosts hold no service*: a crashed host never has a job
+           actively running.
         """
         now = sim.now
         tol = 1e-9 * (1.0 + abs(now))
         in_system = 0
         for host in self.hosts:
+            if host.running is not None and not host.up:
+                raise InvariantViolation(
+                    f"host {host.host_id} is down but running job "
+                    f"{host.running.index}"
+                )
             if host.running is not None and host.virtual_completion < now - tol:
                 raise InvariantViolation(
                     f"host {host.host_id} is busy with job "
@@ -226,20 +337,28 @@ class DistributedServer:
                 )
             prev = -1
             for queued in host.queue:
-                if queued.index <= prev:
+                if queued.host_seq <= prev:
                     raise InvariantViolation(
                         f"host {host.host_id} queue is out of FCFS order: "
-                        f"job {queued.index} waits behind job {prev}"
+                        f"job {queued.index} (submission {queued.host_seq}) "
+                        f"waits behind submission {prev}"
                     )
-                prev = queued.index
+                prev = queued.host_seq
             in_system += host.n_in_system
-        accounted = in_system + len(self.central_queue) + len(self._completed)
+        accounted = (
+            in_system
+            + len(self.central_queue)
+            + len(self._deferred)
+            + len(self._completed)
+            + len(self._lost)
+        )
         if accounted != self._n_arrived:
             raise InvariantViolation(
                 f"job conservation broken at t={now}: {self._n_arrived} "
                 f"arrived but {accounted} accounted for "
                 f"({in_system} on hosts, {len(self.central_queue)} central, "
-                f"{len(self._completed)} completed)"
+                f"{len(self._deferred)} deferred, "
+                f"{len(self._completed)} completed, {len(self._lost)} lost)"
             )
 
     # ------------------------------------------------------------------
@@ -272,12 +391,31 @@ class DistributedServer:
                 size_estimate=float(est[i]),
             )
             self.sim.schedule(job.arrival_time, self._handle_arrival, job)
-        self.sim.run()
-        if len(self._completed) != trace.n_jobs:
-            raise RuntimeError(
-                f"simulation ended with {len(self._completed)} of "
-                f"{trace.n_jobs} jobs completed"
-            )
+        if self.fault_injector is not None:
+            self._expected = trace.n_jobs
+            self.fault_injector.attach(self)
+            # The crash/repair stream is unbounded, so completion of the
+            # last job stops the clock (``_maybe_finish``).  A pathological
+            # fault model (repairs slower than crashes under re-dispatch)
+            # could make no progress at all; the event budget turns that
+            # livelock into a diagnosable error instead of a hung sweep.
+            budget = 200 * trace.n_jobs + 100_000
+            self.sim.run(max_events=budget)
+            done = len(self._completed) + len(self._lost)
+            if done != trace.n_jobs:
+                raise RuntimeError(
+                    f"simulation ended with {done} of {trace.n_jobs} jobs "
+                    f"accounted for after {self.sim.events_processed} events "
+                    "— the fault model may be too aggressive to make progress "
+                    f"(availability {self.fault_injector.model.availability:.3f})"
+                )
+        else:
+            self.sim.run()
+            if len(self._completed) != trace.n_jobs:
+                raise RuntimeError(
+                    f"simulation ended with {len(self._completed)} of "
+                    f"{trace.n_jobs} jobs completed"
+                )
         jobs = sorted(self._completed, key=lambda j: j.index)
         sizes = np.array([j.size for j in jobs])
         waits = np.array([j.wait_time for j in jobs])
@@ -295,6 +433,7 @@ class DistributedServer:
                     for j in jobs
                 ]
             )
+        injector = self.fault_injector
         result = SimulationResult(
             policy_name=getattr(self.policy, "name", type(self.policy).__name__),
             n_hosts=len(self.hosts),
@@ -304,6 +443,12 @@ class DistributedServer:
             host_assignments=np.array([j.assigned_host for j in jobs], dtype=int),
             wasted_work=np.array([j.wasted_work for j in jobs]),
             processing_times=processing,
+            n_lost=len(self._lost),
+            n_failures=0 if injector is None else injector.total_crashes,
+            host_downtime=(
+                0.0 if injector is None else injector.total_downtime(self.sim.now)
+            ),
+            backend="event",
         )
         observe_result(result)
         return result

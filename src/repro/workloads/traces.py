@@ -18,6 +18,7 @@ in the Standard Workload Format).  This module provides:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -228,9 +229,15 @@ class Trace:
     # ------------------------------------------------------------------
 
     @classmethod
-    def from_swf(cls, path, name: str | None = None, min_runtime: float = 1e-9) -> "Trace":
+    def from_swf(
+        cls,
+        path,
+        name: str | None = None,
+        min_runtime: float = 1e-9,
+        on_error: str = "raise",
+    ) -> "Trace":
         """Load a Standard Workload Format file (see :func:`read_swf`)."""
-        return read_swf(path, name=name, min_runtime=min_runtime)
+        return read_swf(path, name=name, min_runtime=min_runtime, on_error=on_error)
 
     def to_swf(self, path) -> None:
         """Write this trace as a minimal SWF file (see :func:`write_swf`)."""
@@ -243,7 +250,12 @@ class Trace:
         )
 
 
-def read_swf(path, name: str | None = None, min_runtime: float = 1e-9) -> Trace:
+def read_swf(
+    path,
+    name: str | None = None,
+    min_runtime: float = 1e-9,
+    on_error: str = "raise",
+) -> Trace:
     """Parse a Standard Workload Format file into a :class:`Trace`.
 
     Uses field 2 (submit time) as the arrival epoch, field 4 (run time) as
@@ -252,11 +264,27 @@ def read_swf(path, name: str | None = None, min_runtime: float = 1e-9) -> Trace:
     (``-1``) or non-positive runtimes are dropped, matching the standard
     cleaning step for archive logs.  Lines starting with ``;`` are header
     comments.
+
+    ``on_error`` selects how *malformed* lines (too few fields, unparsable
+    numbers) are handled: ``"raise"`` (default) aborts with the offending
+    line and number; ``"skip"`` drops them and finishes with a single
+    warning summarising how many lines were skipped and where the first
+    few were — the lenient mode for real-world archive logs, which ship
+    with truncated tails and stray text more often than one would hope.
     """
+    if on_error not in ("raise", "skip"):
+        raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
     path = Path(path)
     arrivals: list[float] = []
     services: list[float] = []
     procs: list[int] = []
+    skipped: list[int] = []
+
+    def bad_line(lineno: int, reason: str) -> None:
+        if on_error == "raise":
+            raise ValueError(f"{path}:{lineno}: {reason}")
+        skipped.append(lineno)
+
     with path.open() as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
@@ -264,16 +292,30 @@ def read_swf(path, name: str | None = None, min_runtime: float = 1e-9) -> Trace:
                 continue
             parts = line.split()
             if len(parts) < 5:
-                raise ValueError(f"{path}:{lineno}: expected >= 5 SWF fields")
-            submit = float(parts[1])
-            runtime = float(parts[3])
+                bad_line(lineno, "expected >= 5 SWF fields")
+                continue
+            try:
+                submit = float(parts[1])
+                runtime = float(parts[3])
+                requested = int(float(parts[7])) if len(parts) > 7 else -1
+                allocated = int(float(parts[4]))
+            except ValueError:
+                bad_line(lineno, f"unparsable SWF fields in {line!r}")
+                continue
             if runtime < min_runtime:
                 continue
-            requested = int(float(parts[7])) if len(parts) > 7 else -1
-            allocated = int(float(parts[4]))
             arrivals.append(submit)
             services.append(runtime)
             procs.append(requested if requested > 0 else max(allocated, 1))
+    if skipped:
+        head = ", ".join(map(str, skipped[:5]))
+        more = f", … ({len(skipped) - 5} more)" if len(skipped) > 5 else ""
+        warnings.warn(
+            f"{path}: skipped {len(skipped)} malformed SWF line(s) "
+            f"(lines {head}{more})",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     if not arrivals:
         raise ValueError(f"{path}: no usable jobs")
     order = np.argsort(arrivals, kind="stable")

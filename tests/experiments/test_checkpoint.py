@@ -1,0 +1,294 @@
+"""Tests for the crash-safe experiment harness (checkpoint/resume,
+per-point timeouts, config validation, kernel-fallback recording)."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.policies import RandomPolicy
+from repro.experiments.base import (
+    Checkpoint,
+    ExperimentConfig,
+    PointTimeout,
+    active_checkpoint,
+    checkpointed,
+    config_signature,
+    run_experiment,
+    run_point,
+)
+from repro.experiments.common import SweepPoint, evaluate_policy
+from repro.workloads.traces import Trace
+
+
+class TestConfigValidation:
+    """Satellite: ExperimentConfig rejects nonsense at construction."""
+
+    def test_defaults_are_valid(self):
+        ExperimentConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"scale": 0.0}, "scale"),
+            ({"scale": -1.0}, "scale"),
+            ({"scale": float("inf")}, "scale"),
+            ({"seed": -1}, "seed"),
+            ({"seed": 1.5}, "seed"),
+            ({"warmup_fraction": 1.0}, "warmup_fraction"),
+            ({"warmup_fraction": -0.1}, "warmup_fraction"),
+            ({"loads": ()}, "loads"),
+            ({"loads": (0.5, 1.0)}, "load"),
+            ({"loads": (0.0,)}, "load"),
+            ({"max_load": 1.5}, "max_load"),
+            ({"replications": 0}, "replications"),
+            ({"replications": 2.5}, "replications"),
+            ({"point_timeout": 0.0}, "point_timeout"),
+            ({"point_retries": -1}, "point_retries"),
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            ExperimentConfig(**kwargs)
+
+    def test_with_revalidates(self):
+        cfg = ExperimentConfig()
+        with pytest.raises(ValueError, match="scale"):
+            cfg.with_(scale=-2.0)
+
+
+class TestCheckpoint:
+    def test_roundtrip_preserves_floats_exactly(self, tmp_path):
+        cp = Checkpoint(tmp_path / "cp", signature="sig")
+        value = {"x": 0.1 + 0.2, "n": 3, "s": "policy", "flag": True}
+        cp.put("point-1", value)
+        loaded = cp.get("point-1")
+        assert loaded == value
+        assert loaded["x"] == 0.1 + 0.2  # bit-exact, not approx
+
+    def test_missing_key_is_none(self, tmp_path):
+        cp = Checkpoint(tmp_path / "cp")
+        assert cp.get("nope") is None
+
+    def test_stale_signature_is_invisible(self, tmp_path):
+        Checkpoint(tmp_path / "cp", signature="old").put("k", 1)
+        assert Checkpoint(tmp_path / "cp", signature="new").get("k") is None
+
+    def test_corrupt_file_is_recomputed_not_fatal(self, tmp_path):
+        cp = Checkpoint(tmp_path / "cp", signature="s")
+        cp.put("k", 1)
+        for f in (tmp_path / "cp").glob("*.json"):
+            f.write_text("{truncated")
+        assert cp.get("k") is None
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cp = Checkpoint(tmp_path / "cp")
+        for i in range(5):
+            cp.put(f"k{i}", i)
+        leftovers = [p for p in (tmp_path / "cp").iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+        assert len(cp) == 5
+
+    def test_clear(self, tmp_path):
+        cp = Checkpoint(tmp_path / "cp")
+        cp.put("k", 1)
+        cp.clear()
+        assert len(cp) == 0
+        assert cp.get("k") is None
+
+    def test_checkpointed_helper(self, tmp_path):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"v": 42}
+
+        # No active checkpoint: always computes.
+        assert checkpointed("k", compute) == {"v": 42}
+        assert len(calls) == 1
+        cp = Checkpoint(tmp_path / "cp")
+        with active_checkpoint(cp):
+            assert checkpointed("k", compute) == {"v": 42}
+            assert checkpointed("k", compute) == {"v": 42}
+        assert len(calls) == 2  # second call inside the context was cached
+        # Context exited: computes again.
+        checkpointed("k", compute)
+        assert len(calls) == 3
+
+    def test_config_signature_distinguishes_configs(self):
+        a = config_signature("fig4", ExperimentConfig(scale=0.1))
+        b = config_signature("fig4", ExperimentConfig(scale=0.2))
+        c = config_signature("fig5", ExperimentConfig(scale=0.1))
+        assert len({a, b, c}) == 3
+
+
+class TestRunPoint:
+    def test_no_timeout_runs_unbounded(self):
+        assert run_point(lambda: 7) == 7
+
+    def test_timeout_raises_after_retries(self):
+        calls = []
+
+        def slow():
+            calls.append(1)
+            time.sleep(5.0)
+
+        with pytest.raises(PointTimeout):
+            with pytest.warns(RuntimeWarning, match="timed out"):
+                run_point(slow, timeout=0.1, retries=1, backoff=0.01)
+        assert len(calls) == 2
+
+    def test_fast_point_is_untouched_by_budget(self):
+        assert run_point(lambda: "ok", timeout=30.0) == "ok"
+
+    def test_retry_can_succeed(self):
+        state = {"n": 0}
+
+        def flaky():
+            state["n"] += 1
+            if state["n"] == 1:
+                time.sleep(5.0)
+            return state["n"]
+
+        with pytest.warns(RuntimeWarning, match="retrying"):
+            assert run_point(flaky, timeout=0.1, retries=2, backoff=0.01) == 2
+
+
+def tiny_config() -> ExperimentConfig:
+    return ExperimentConfig(scale=0.01, loads=(0.5,), seed=123)
+
+
+class TestEvaluatePolicyCheckpointing:
+    def trace(self):
+        rng = np.random.default_rng(0)
+        return Trace(np.cumsum(rng.exponential(1.0, 400)),
+                     rng.pareto(1.5, 400) + 0.5)
+
+    def test_second_call_hits_cache(self, tmp_path, monkeypatch):
+        cfg = tiny_config()
+        trace = self.trace()
+        cp = Checkpoint(tmp_path / "cp", signature="t")
+        with active_checkpoint(cp):
+            first = evaluate_policy(trace, RandomPolicy(), 0.5, 2, cfg, seed=9)
+            assert len(cp) == 1
+            # Make any recomputation explode: a cache hit must not simulate.
+            import repro.experiments.common as common
+
+            monkeypatch.setattr(
+                common, "simulate",
+                lambda *a, **k: (_ for _ in ()).throw(AssertionError("resimulated")),
+            )
+            second = evaluate_policy(trace, RandomPolicy(), 0.5, 2, cfg, seed=9)
+        # NaN fairness placeholders defeat == (NaN != NaN); compare the
+        # canonical JSON text instead.
+        assert json.dumps(first.to_json(), sort_keys=True) == json.dumps(
+            second.to_json(), sort_keys=True
+        )
+
+    def test_fallback_is_recorded_in_point_and_row(self, monkeypatch):
+        import repro.sim.fast as fast
+
+        monkeypatch.setattr(
+            fast, "fcfs_waits",
+            lambda t, s: np.full(np.asarray(t).size, np.nan),
+        )
+        cfg = tiny_config()
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            point = evaluate_policy(
+                self.trace(), RandomPolicy(), 0.5, 2, cfg, seed=9
+            )
+        assert point.fallback is True
+        assert point.as_row()["fallback"] is True
+
+    def test_fallback_cross_validates_against_event_engine(self, monkeypatch):
+        from repro.sim.runner import simulate as real_simulate
+
+        cfg = tiny_config()
+        trace = self.trace()
+        reference = real_simulate(trace, RandomPolicy(), 2, rng=9, backend="event")
+        import repro.sim.fast as fast
+
+        monkeypatch.setattr(
+            fast, "fcfs_waits",
+            lambda t, s: np.full(np.asarray(t).size, np.nan),
+        )
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            point = evaluate_policy(trace, RandomPolicy(), 0.5, 2, cfg, seed=9)
+        expected = reference.summary(warmup_fraction=cfg.warmup_fraction)
+        assert point.summary.mean_slowdown == pytest.approx(
+            expected.mean_slowdown
+        )
+
+    def test_sweep_point_json_roundtrip(self):
+        cfg = tiny_config()
+        point = evaluate_policy(
+            self.trace(), RandomPolicy(), 0.5, 2, cfg, seed=9, class_cutoff=1.0
+        )
+        restored = SweepPoint.from_json(json.loads(json.dumps(point.to_json())))
+        assert restored == point
+        assert restored.summary.mean_slowdown == point.summary.mean_slowdown
+
+
+class TestResumeRoundTrip:
+    """A sweep killed mid-run resumes to the identical result."""
+
+    EXPERIMENT = "fig4"
+
+    def run_direct(self, config):
+        return run_experiment(self.EXPERIMENT, config)
+
+    def test_fresh_run_clears_stale_checkpoints(self, tmp_path):
+        config = tiny_config()
+        cp_dir = tmp_path / "ck"
+        stale = Checkpoint(
+            cp_dir / self.EXPERIMENT,
+            signature=config_signature(self.EXPERIMENT, config),
+        )
+        stale.put("bogus", {"v": 1})
+        run_experiment(self.EXPERIMENT, config, checkpoint_dir=cp_dir)
+        assert stale.get("bogus") is None
+
+    def test_resume_after_sigkill_matches_uninterrupted(self, tmp_path):
+        config = tiny_config()
+        direct = self.run_direct(config)
+        cp_dir = tmp_path / "ck"
+        script = (
+            "import sys; sys.path.insert(0, {src!r})\n"
+            "from repro.experiments.base import run_experiment\n"
+            "from tests.experiments.test_checkpoint import tiny_config\n"
+            "run_experiment({eid!r}, tiny_config(), checkpoint_dir={cp!r})\n"
+        ).format(
+            src=str(Path(__file__).resolve().parents[2] / "src"),
+            eid=self.EXPERIMENT,
+            cp=str(cp_dir),
+        )
+        env = dict(os.environ)
+        env["REPRO_CHECKPOINT_KILL_AFTER"] = "2"
+        env["PYTHONPATH"] = os.pathsep.join(
+            [
+                str(Path(__file__).resolve().parents[2] / "src"),
+                str(Path(__file__).resolve().parents[2]),
+            ]
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+        partial = len(Checkpoint(cp_dir / self.EXPERIMENT))
+        assert partial == 2  # died right after the second point
+        resumed = run_experiment(
+            self.EXPERIMENT, config, checkpoint_dir=cp_dir, resume=True
+        )
+        assert resumed.rows == direct.rows

@@ -162,3 +162,50 @@ class TestSWF:
         back = Trace.from_swf(path, name="restored")
         assert back.name == "restored"
         assert back.n_jobs == trace.n_jobs
+
+
+class TestLenientSWF:
+    """read_swf(on_error="skip") tolerates malformed archive lines."""
+
+    GOOD = "1 0.0 0 10.0 1 -1 -1 1 -1 -1 1 1 1 -1 1 -1 -1 -1\n"
+    SHORT = "2 3.0 0\n"
+    GARBAGE = "3 what 0 ten 1 -1 -1 1 -1 -1 1 1 1 -1 1 -1 -1 -1\n"
+
+    def test_skip_drops_malformed_lines_with_warning(self, tmp_path):
+        path = tmp_path / "messy.swf"
+        path.write_text(self.GOOD + self.SHORT + self.GARBAGE + self.GOOD)
+        with pytest.warns(RuntimeWarning, match="skipped 2 malformed"):
+            t = read_swf(path, on_error="skip")
+        assert t.n_jobs == 2
+        assert list(t.service_times) == [10.0, 10.0]
+
+    def test_warning_names_line_numbers(self, tmp_path):
+        path = tmp_path / "messy.swf"
+        path.write_text(self.GOOD + self.SHORT + self.GOOD)
+        with pytest.warns(RuntimeWarning, match=r"lines 2"):
+            read_swf(path, on_error="skip")
+
+    def test_raise_mode_names_offending_line(self, tmp_path):
+        path = tmp_path / "messy.swf"
+        path.write_text(self.GOOD + self.GARBAGE)
+        with pytest.raises(ValueError, match="messy.swf:2"):
+            read_swf(path)
+
+    def test_skip_still_rejects_fully_unusable_file(self, tmp_path):
+        path = tmp_path / "hopeless.swf"
+        path.write_text(self.SHORT + self.GARBAGE)
+        with pytest.warns(RuntimeWarning), pytest.raises(ValueError, match="no usable jobs"):
+            read_swf(path, on_error="skip")
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        path = tmp_path / "x.swf"
+        path.write_text(self.GOOD)
+        with pytest.raises(ValueError, match="on_error"):
+            read_swf(path, on_error="ignore")
+
+    def test_from_swf_passes_mode_through(self, tmp_path):
+        path = tmp_path / "messy.swf"
+        path.write_text(self.GOOD + self.SHORT)
+        with pytest.warns(RuntimeWarning):
+            t = Trace.from_swf(path, on_error="skip")
+        assert t.n_jobs == 1
