@@ -1,0 +1,286 @@
+"""Benchmark-trajectory harness: ``repro bench``.
+
+Runs a fixed set of named benchmarks over the hot paths — the
+vectorised/tight-loop simulation kernels, the event engine vs the fast
+kernels, and a full experiment sweep serial vs parallel — and writes a
+machine-readable ``BENCH_<date>.json`` baseline.  Each PR that touches a
+hot path re-runs the harness and commits a fresh baseline, so the
+repository carries its own performance trajectory and a regression shows
+up as a diff, not a vibe.
+
+The harness measures **wall-clock only**.  It deliberately does not
+assert thresholds: absolute numbers are machine-dependent (CI runners
+differ wildly), so the JSON records the environment alongside every
+entry and comparisons are made between files from the same machine.
+
+Schema (``schema_version`` 1)::
+
+    {
+      "schema_version": 1,
+      "created": "YYYY-MM-DD",
+      "quick": false,
+      "environment": {"python": …, "numpy": …, "platform": …,
+                       "cpu_count": …, "workers": …},
+      "entries": [
+        {"name": "kernel.lwl_waits", "wall_s": …, "n_jobs": …,
+         "jobs_per_s": …},
+        …,
+        {"name": "experiment.fig2.parallel", "wall_s": …,
+         "speedup_vs_serial": …}, …
+      ]
+    }
+
+``repro bench --quick`` shrinks every size for a smoke-test pass (CI);
+the committed baselines use the default sizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "add_bench_arguments",
+    "default_output_path",
+    "main",
+    "run_benchmarks",
+    "run_from_args",
+]
+
+SCHEMA_VERSION = 1
+
+
+def _time(fn: Callable[[], object], repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock seconds for ``fn()``."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _kernel_workload(n_jobs: int, seed: int = 20000731):
+    """A heavy-tailed arrival/size pair shared by the kernel benches."""
+    rng = np.random.default_rng(seed)
+    t = np.cumsum(rng.exponential(1.0, n_jobs))
+    s = rng.pareto(1.5, n_jobs) + 0.1
+    return t, s
+
+
+def _bench_kernels(n_jobs: int, repeats: int) -> list[dict]:
+    """Per-kernel throughput (the satellite-optimised Python loops and
+    the vectorised Lindley passes)."""
+    from .sim.fast import fcfs_waits, lwl_waits, shortest_queue_waits, tags_waits
+
+    t, s = _kernel_workload(n_jobs)
+    cutoffs = [float(np.quantile(s, 0.5)), float(np.quantile(s, 0.9))]
+    kernels: list[tuple[str, Callable[[], object]]] = [
+        ("kernel.fcfs_waits", lambda: fcfs_waits(t, s)),
+        ("kernel.lwl_waits", lambda: lwl_waits(t, s, 4)),
+        ("kernel.shortest_queue_waits", lambda: shortest_queue_waits(t, s, 4)),
+        ("kernel.tags_waits", lambda: tags_waits(t, s, cutoffs)),
+    ]
+    entries = []
+    for name, fn in kernels:
+        fn()  # warm
+        wall = _time(fn, repeats)
+        entries.append(
+            {
+                "name": name,
+                "wall_s": wall,
+                "n_jobs": n_jobs,
+                "jobs_per_s": n_jobs / wall if wall > 0 else None,
+            }
+        )
+    return entries
+
+
+def _bench_engine_vs_fast(n_jobs: int, repeats: int) -> list[dict]:
+    """The reference event engine against the fast kernels on one
+    workload — the speedup that justifies the fast path's existence."""
+    from .core.policies import LeastWorkLeftPolicy
+    from .sim.runner import simulate
+    from .workloads.catalog import get_workload
+
+    trace = get_workload("c90").make_trace(load=0.7, n_hosts=4, n_jobs=n_jobs, rng=1)
+    fast = _time(
+        lambda: simulate(trace, LeastWorkLeftPolicy(), 4, rng=1, backend="fast"),
+        repeats,
+    )
+    engine = _time(
+        lambda: simulate(trace, LeastWorkLeftPolicy(), 4, rng=1, backend="event"),
+        max(1, repeats - 1),
+    )
+    return [
+        {"name": "backend.fast", "wall_s": fast, "n_jobs": n_jobs,
+         "jobs_per_s": n_jobs / fast if fast > 0 else None},
+        {"name": "backend.event", "wall_s": engine, "n_jobs": n_jobs,
+         "jobs_per_s": n_jobs / engine if engine > 0 else None},
+        {"name": "backend.speedup", "wall_s": engine,
+         "speedup_vs_event": engine / fast if fast > 0 else None},
+    ]
+
+
+def _bench_sweep(scale: float, workers: int) -> list[dict]:
+    """One full experiment sweep, serial then parallel.
+
+    Uses ``fig2`` (the canonical balanced-policy sweep).  The serial and
+    parallel runs produce identical rows by construction — the harness
+    asserts that here too, so every committed baseline doubles as an
+    equivalence check on the machine that produced it.
+    """
+    from .experiments import ExperimentConfig, run_experiment
+    from .experiments.common import clear_trace_cache
+
+    config = ExperimentConfig(scale=scale)
+    clear_trace_cache()
+    t0 = time.perf_counter()
+    serial = run_experiment("fig2", config)
+    serial_s = time.perf_counter() - t0
+    clear_trace_cache()  # parallel run pays its own trace generation
+    t0 = time.perf_counter()
+    parallel = run_experiment("fig2", config, workers=workers)
+    parallel_s = time.perf_counter() - t0
+    if serial.rows != parallel.rows:
+        raise AssertionError(
+            "parallel sweep rows differ from serial — determinism bug"
+        )
+    return [
+        {"name": "experiment.fig2.serial", "wall_s": serial_s, "scale": scale},
+        {
+            "name": "experiment.fig2.parallel",
+            "wall_s": parallel_s,
+            "scale": scale,
+            "workers": workers,
+            "speedup_vs_serial": serial_s / parallel_s if parallel_s > 0 else None,
+            "rows_identical_to_serial": True,
+        },
+    ]
+
+
+def run_benchmarks(
+    quick: bool = False,
+    workers: int | None = None,
+    scale: float | None = None,
+) -> dict:
+    """Execute every benchmark and return the baseline document."""
+    if workers is None:
+        # At least 2 even on a single core: the sweep bench doubles as a
+        # serial-vs-parallel equivalence check, which needs a real pool.
+        workers = max(2, min(4, os.cpu_count() or 1))
+    n_kernel = 20_000 if quick else 200_000
+    n_backend = 5_000 if quick else 20_000
+    repeats = 1 if quick else 3
+    sweep_scale = scale if scale is not None else (0.05 if quick else 0.25)
+    entries: list[dict] = []
+    entries += _bench_kernels(n_kernel, repeats)
+    entries += _bench_engine_vs_fast(n_backend, repeats)
+    entries += _bench_sweep(sweep_scale, workers)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "created": _dt.date.today().isoformat(),
+        "quick": quick,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "workers": workers,
+        },
+        "entries": entries,
+    }
+
+
+def default_output_path(created: str, directory: str | Path = ".") -> Path:
+    """``BENCH_<date>.json`` in ``directory`` (the repo root by convention)."""
+    return Path(directory) / f"BENCH_{created}.json"
+
+
+def render(doc: dict) -> str:
+    """Human-readable table of a baseline document."""
+    env = doc["environment"]
+    lines = [
+        f"bench {doc['created']} — python {env['python']}, numpy {env['numpy']}, "
+        f"{env['cpu_count']} cpus, {env['workers']} workers"
+        + (" (quick)" if doc.get("quick") else "")
+    ]
+    for e in doc["entries"]:
+        extra = []
+        if e.get("jobs_per_s"):
+            extra.append(f"{e['jobs_per_s'] / 1e3:8.0f}k jobs/s")
+        for key in ("speedup_vs_event", "speedup_vs_serial"):
+            if e.get(key):
+                extra.append(f"{e[key]:.2f}x {key.split('_vs_')[1]}")
+        lines.append(
+            f"  {e['name']:32s} {e['wall_s'] * 1e3:10.1f} ms  " + "  ".join(extra)
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register the bench options on ``parser`` (shared with ``repro bench``)."""
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small sizes, single repeat — the CI smoke configuration",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="pool size for the parallel sweep bench (default: min(4, cpus))",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="job-count multiplier for the sweep bench (default: 0.25, quick 0.05)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="output JSON path (default: ./BENCH_<date>.json)",
+    )
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute a parsed bench invocation; returns the process exit code."""
+    doc = run_benchmarks(quick=args.quick, workers=args.workers, scale=args.scale)
+    out = Path(args.out) if args.out else default_output_path(doc["created"])
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(render(doc))
+    print(f"\nwrote {out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="performance baseline harness (writes BENCH_<date>.json)",
+    )
+    add_bench_arguments(parser)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    return run_from_args(build_parser().parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -10,7 +10,9 @@ Subcommands
     ``--checkpoint DIR`` makes the sweep crash-safe (atomic per-point
     writes) and ``--resume`` picks an interrupted sweep back up;
     ``--timeout``/``--retries`` bound the wall-clock cost of a single
-    point (see ``docs/ROBUSTNESS.md``).
+    point (see ``docs/ROBUSTNESS.md``); ``--workers N`` fans points out
+    over N processes while keeping the rows bit-identical to a serial
+    run (see ``docs/PERFORMANCE.md``).
 ``repro workloads``
     Print the calibrated workload catalog (Table-1 style).
 ``repro synth c90 out.swf --load 0.7 --hosts 2 --jobs 50000``
@@ -25,7 +27,13 @@ Subcommands
     identical seeds, digest the event stream and every simulation
     result, report the first divergent event on mismatch, and
     cross-check the event engine against the fast kernels; exits 0
-    deterministic, 1 divergence, 2 usage error.
+    deterministic, 1 divergence, 2 usage error.  ``--workers N`` also
+    checks that a parallel sweep reproduces the serial rows exactly.
+``repro bench [--quick] [--workers N] [--out PATH]``
+    Performance baseline harness: time the simulation kernels, the
+    event engine vs the fast path, and a serial-vs-parallel sweep, and
+    write a machine-readable ``BENCH_<date>.json`` (see
+    ``docs/PERFORMANCE.md``).
 """
 
 from __future__ import annotations
@@ -96,6 +104,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="retries for a timed-out point before giving up (default: 1)",
     )
+    run_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "fan simulated points out over N worker processes; results "
+            "are collected in deterministic submission order, so the rows "
+            "are bit-identical to a serial run (default: serial)"
+        ),
+    )
 
     all_p = sub.add_parser(
         "all", help="run every registered experiment and write results to a directory"
@@ -122,6 +141,13 @@ def build_parser() -> argparse.ArgumentParser:
     from .devtools.audit import add_audit_arguments
 
     add_audit_arguments(audit_p)
+
+    bench_p = sub.add_parser(
+        "bench", help="performance baseline harness (writes BENCH_<date>.json)"
+    )
+    from .bench import add_bench_arguments
+
+    add_bench_arguments(bench_p)
 
     synth_p = sub.add_parser("synth", help="write a synthetic trace as SWF")
     synth_p.add_argument("workload", choices=WORKLOAD_NAMES)
@@ -158,6 +184,7 @@ def main(argv: list[str] | None = None) -> int:
             config,
             checkpoint_dir=args.checkpoint,
             resume=args.resume,
+            workers=args.workers,
         )
         print(result.to_text())
         if args.plot:
@@ -215,6 +242,11 @@ def main(argv: list[str] | None = None) -> int:
         from .devtools.audit import run_from_args as run_audit
 
         return run_audit(args)
+
+    if args.command == "bench":
+        from .bench import run_from_args as run_bench
+
+        return run_bench(args)
 
     if args.command == "synth":
         w = get_workload(args.workload)

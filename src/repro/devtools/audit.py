@@ -29,9 +29,18 @@ the event engine and the fast kernels must produce the same waits
 (host identities may legitimately differ on ties, so the comparison is
 ``allclose`` on wait arrays, not a bit-exact digest).
 
+A fourth, optional check (``--workers N``) targets the parallel sweep
+executor: the audited experiment is run once serially and once fanned
+out over an ``N``-process pool, and the resulting rows must be
+**identical** (NaN fields compare equal to NaN — ablation drivers emit
+them legitimately).  This is the runtime enforcement of the guarantee
+documented in :mod:`repro.experiments.parallel` and
+``docs/PERFORMANCE.md``.
+
 CLI::
 
     repro audit --experiment fig2_3 --replays 2 [--scale 0.1] [--seed N]
+               [--workers 4]
 
 Exit codes: **0** deterministic, **1** divergence found, **2** usage
 error (unknown experiment).
@@ -41,6 +50,7 @@ from __future__ import annotations
 
 import argparse
 import hashlib
+import math
 import struct
 import sys
 from contextlib import contextmanager
@@ -59,9 +69,11 @@ __all__ = [
     "AuditReport",
     "CrossCheck",
     "Divergence",
+    "ParallelCheck",
     "ReplayRecord",
     "add_audit_arguments",
     "audit_experiment",
+    "check_parallel_equivalence",
     "cross_check_backends",
     "find_first_divergence",
     "main",
@@ -319,6 +331,78 @@ def cross_check_backends(
 
 
 # ---------------------------------------------------------------------------
+# serial vs parallel sweep equivalence
+# ---------------------------------------------------------------------------
+
+
+def _row_values_equal(a: object, b: object) -> bool:
+    """Equality where two NaNs compare equal (ablation rows carry NaN)."""
+    if isinstance(a, float) and isinstance(b, float):
+        return a == b or (math.isnan(a) and math.isnan(b))
+    return a == b
+
+
+def _rows_equal(a: dict, b: dict) -> bool:
+    return a.keys() == b.keys() and all(
+        _row_values_equal(a[k], b[k]) for k in a
+    )
+
+
+@dataclass(frozen=True)
+class ParallelCheck:
+    """Agreement of a serial sweep and an N-worker parallel sweep."""
+
+    workers: int
+    n_rows: int
+    first_mismatch: str | None
+
+    @property
+    def ok(self) -> bool:
+        return self.first_mismatch is None
+
+    def render(self) -> str:
+        if self.ok:
+            return (
+                f"serial and {self.workers}-worker parallel sweeps agree "
+                f"on all {self.n_rows} rows"
+            )
+        return (
+            f"serial vs {self.workers}-worker parallel sweep DISAGREE: "
+            f"{self.first_mismatch}"
+        )
+
+
+def check_parallel_equivalence(
+    ids: list[str], config: ExperimentConfig, workers: int
+) -> ParallelCheck:
+    """Run every experiment in ``ids`` serially and with ``workers``
+    processes; the rows must match exactly (NaN-tolerant, see
+    :func:`_row_values_equal`)."""
+    n_rows = 0
+    for eid in ids:
+        serial = run_experiment(eid, config)
+        parallel = run_experiment(eid, config, workers=workers)
+        if len(serial.rows) != len(parallel.rows):
+            return ParallelCheck(
+                workers=workers,
+                n_rows=n_rows,
+                first_mismatch=(
+                    f"{eid}: {len(serial.rows)} serial rows vs "
+                    f"{len(parallel.rows)} parallel rows"
+                ),
+            )
+        for i, (sr, pr) in enumerate(zip(serial.rows, parallel.rows)):
+            if not _rows_equal(sr, pr):
+                return ParallelCheck(
+                    workers=workers,
+                    n_rows=n_rows,
+                    first_mismatch=f"{eid} row {i}: serial {sr!r} != parallel {pr!r}",
+                )
+        n_rows += len(serial.rows)
+    return ParallelCheck(workers=workers, n_rows=n_rows, first_mismatch=None)
+
+
+# ---------------------------------------------------------------------------
 # the audit itself
 # ---------------------------------------------------------------------------
 
@@ -356,11 +440,14 @@ class AuditReport:
     n_results: int
     divergence: Divergence | None
     cross_check: CrossCheck | None
+    parallel_check: ParallelCheck | None = None
 
     @property
     def ok(self) -> bool:
-        return self.divergence is None and (
-            self.cross_check is None or self.cross_check.ok
+        return (
+            self.divergence is None
+            and (self.cross_check is None or self.cross_check.ok)
+            and (self.parallel_check is None or self.parallel_check.ok)
         )
 
     def render(self) -> str:
@@ -376,6 +463,8 @@ class AuditReport:
             lines.append(self.divergence.render())
         if self.cross_check is not None:
             lines.append(self.cross_check.render())
+        if self.parallel_check is not None:
+            lines.append(self.parallel_check.render())
         lines.append("audit PASSED" if self.ok else "audit FAILED")
         return "\n".join(lines)
 
@@ -386,6 +475,7 @@ def audit_experiment(
     scale: float = 0.1,
     seed: int | None = None,
     cross_check: bool = True,
+    workers: int | None = None,
 ) -> AuditReport:
     """Run ``experiment`` ``replays`` times with identical seeds; compare.
 
@@ -397,6 +487,8 @@ def audit_experiment(
     """
     if replays < 2:
         raise AuditError(f"need at least 2 replays to compare, got {replays}")
+    if workers is not None and workers < 2:
+        raise AuditError(f"--workers needs at least 2 processes, got {workers}")
     ids = resolve_experiment_ids(experiment)
     config = ExperimentConfig(scale=scale)
     if seed is not None:
@@ -413,6 +505,11 @@ def audit_experiment(
         if divergence is not None:
             break
     check = cross_check_backends(seed=config.seed) if cross_check else None
+    par_check = (
+        check_parallel_equivalence(ids, config, workers)
+        if workers is not None
+        else None
+    )
     return AuditReport(
         experiment=experiment,
         experiment_ids=ids,
@@ -422,6 +519,7 @@ def audit_experiment(
         n_results=records[0].n_results,
         divergence=divergence,
         cross_check=check,
+        parallel_check=par_check,
     )
 
 
@@ -455,6 +553,16 @@ def add_audit_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="skip the engine-vs-fast backend comparison",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "also run the audited experiments over an N-process pool and "
+            "require the rows to match the serial run exactly"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -475,6 +583,7 @@ def run_from_args(args: argparse.Namespace) -> int:
             scale=args.scale,
             seed=args.seed,
             cross_check=not args.no_cross_check,
+            workers=args.workers,
         )
     except AuditError as exc:
         print(f"error: {exc}", file=sys.stderr)

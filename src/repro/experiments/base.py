@@ -289,7 +289,37 @@ class Checkpoint:
             os.kill(os.getpid(), signal.SIGKILL)
 
     def __len__(self) -> int:
+        """Number of stored entries.
+
+        Deliberately **not cached**: parallel workers write entries into
+        the same directory from other processes, so any in-process count
+        would go stale immediately.  Each call is an O(n) directory scan
+        (no file reads) — call it once and keep the number rather than
+        using ``len()`` inside a loop; for the set of completed *keys*
+        use :meth:`keys`, which the parallel dispatcher calls exactly
+        once per run to pre-filter finished points.
+        """
         return sum(1 for _ in self.directory.glob("*.json"))
+
+    def keys(self) -> list[str]:
+        """Keys of every complete, signature-matching stored point.
+
+        One O(n) pass reading each entry (corrupt or stale-signature
+        files are skipped, matching :meth:`get`), sorted for a
+        deterministic listing.  The parallel dispatcher uses this to
+        pre-filter completed points in a single scan instead of probing
+        :meth:`get` once per sweep point.
+        """
+        out = []
+        for path in self.directory.glob("*.json"):
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            key = payload.get("key")
+            if isinstance(key, str) and payload.get("signature") == self.signature:
+                out.append(key)
+        return sorted(out)
 
     def clear(self) -> None:
         """Drop every stored point (a fresh, non-resumed run starts here)."""
@@ -400,6 +430,7 @@ def run_experiment(
     config: ExperimentConfig | None = None,
     checkpoint_dir: str | Path | None = None,
     resume: bool = False,
+    workers: int | None = None,
 ) -> ExperimentResult:
     """Run one registered experiment (default full-scale config).
 
@@ -411,7 +442,30 @@ def run_experiment(
     uninterrupted run would.  Without ``resume`` an existing checkpoint
     directory is cleared first: a fresh run never silently reuses old
     points.
+
+    ``workers`` > 1 fans the experiment's simulated points out over a
+    process pool (see :mod:`repro.experiments.parallel`); results are
+    collected in deterministic submission order and the returned rows
+    are bit-identical to a serial run.  ``None``/1 is the plain serial
+    path.  Checkpointing composes: pool workers write through the same
+    atomic store, and ``resume`` pre-filters completed points before
+    dispatch.
     """
+    if workers is not None:
+        if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+            raise ValueError(
+                f"workers must be a positive integer or None, got {workers!r}"
+            )
+        if workers > 1:
+            from .parallel import run_parallel_experiment
+
+            return run_parallel_experiment(
+                experiment_id,
+                config,
+                workers=workers,
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
+            )
     fn = get_experiment(experiment_id)
     config = config if config is not None else ExperimentConfig()
     if checkpoint_dir is None:

@@ -19,7 +19,9 @@ from __future__ import annotations
 
 import dataclasses
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -49,8 +51,13 @@ from .base import run_point as base_run_point
 __all__ = [
     "SweepPoint",
     "make_split_trace",
+    "clear_trace_cache",
     "fit_sita_cutoffs",
+    "compute_point",
     "evaluate_policy",
+    "placeholder_point",
+    "point_key",
+    "set_point_interceptor",
     "balanced_policies",
     "sita_family",
     "grouped_sita",
@@ -118,6 +125,21 @@ class SweepPoint:
         return cls(**{**d, "summary": Summary(**s)})
 
 
+#: LRU of generated (train, test) splits.  Many policies are evaluated at
+#: one (load, seed) coordinate, and a parallel run walks the driver twice
+#: (collect + replay, see :mod:`repro.experiments.parallel`) — without the
+#: cache every walk re-samples the same bounded-Pareto/lognormal trace.
+#: Keys hold strong references to the workload/arrivals objects, so
+#: identity-based hashing can never alias a recycled ``id()``.
+_TRACE_CACHE: OrderedDict[tuple, tuple[Trace, Trace]] = OrderedDict()
+_TRACE_CACHE_MAX = 16
+
+
+def clear_trace_cache() -> None:
+    """Drop every memoised (train, test) split (mainly for tests)."""
+    _TRACE_CACHE.clear()
+
+
 def make_split_trace(
     workload: SyntheticWorkload,
     load: float,
@@ -126,11 +148,35 @@ def make_split_trace(
     seed: int,
     arrivals: ArrivalProcess | None = None,
 ) -> tuple[Trace, Trace]:
-    """Generate a trace and split it into (train, test) halves."""
+    """Generate a trace and split it into (train, test) halves.
+
+    Memoised: generation is deterministic given an integer ``seed``, so
+    repeated calls with the same coordinates return the same (cached)
+    pair — traces are treated as immutable throughout.  Only integer
+    seeds are cached (a caller-supplied Generator mutates as it samples,
+    so two calls with one Generator legitimately differ).
+    """
+    cacheable = isinstance(seed, int) and not isinstance(seed, bool)
+    if cacheable:
+        key = (workload, load, n_hosts, n_jobs, seed, arrivals)
+        try:
+            hit = _TRACE_CACHE[key]
+        except KeyError:
+            pass
+        except TypeError:  # unhashable workload/arrivals: just recompute
+            cacheable = False
+        else:
+            _TRACE_CACHE.move_to_end(key)
+            return hit
     trace = workload.make_trace(
         load=load, n_hosts=n_hosts, n_jobs=n_jobs, rng=seed, arrivals=arrivals
     )
-    return trace.split(0.5)
+    split = trace.split(0.5)
+    if cacheable:
+        _TRACE_CACHE[key] = split
+        while len(_TRACE_CACHE) > _TRACE_CACHE_MAX:
+            _TRACE_CACHE.popitem(last=False)
+    return split
 
 
 def fit_sita_cutoffs(
@@ -156,6 +202,132 @@ def fit_sita_cutoffs(
     return out
 
 
+def point_key(
+    policy,
+    load: float,
+    n_hosts: int,
+    seed: int,
+    faults: FaultModel | None = None,
+    class_cutoff: float | None = None,
+) -> str:
+    """Canonical checkpoint/dispatch key for one simulated point."""
+    return "|".join(
+        [
+            f"policy={policy.name}",
+            f"h={n_hosts}",
+            f"load={load!r}",
+            f"seed={seed}",
+            f"faults={faults.describe() if faults is not None else 'none'}",
+            f"cutoff={class_cutoff!r}",
+        ]
+    )
+
+
+def compute_point(
+    test: Trace,
+    policy,
+    load: float,
+    n_hosts: int,
+    config: ExperimentConfig,
+    seed: int,
+    faults: FaultModel | None = None,
+    class_cutoff: float | None = None,
+) -> dict:
+    """Simulate one point and return its JSON-serialisable SweepPoint.
+
+    The single code path behind both the serial harness and the parallel
+    workers (:mod:`repro.experiments.parallel`) — running it in-process
+    or in a pool worker is bit-identical by construction.  The config's
+    per-point SIGALRM budget applies wherever this runs: in a pool the
+    worker process enforces it on its own main thread.
+    """
+    result = base_run_point(
+        lambda: simulate(
+            test, policy, n_hosts, rng=seed, faults=faults,
+            on_kernel_failure="fallback",
+        ),
+        timeout=config.point_timeout,
+        retries=config.point_retries,
+        label=f"{policy.name} @ load {load:g}",
+    )
+    trimmed = result.trimmed(warmup_fraction=config.warmup_fraction)
+    short = long = math.nan
+    if class_cutoff is not None:
+        short, long = trimmed.class_mean_slowdowns(class_cutoff)
+    return SweepPoint(
+        policy=policy.name,
+        load=load,
+        n_hosts=n_hosts,
+        summary=result.summary(warmup_fraction=config.warmup_fraction),
+        fallback=result.backend == "event-fallback",
+        n_lost=result.n_lost,
+        n_failures=result.n_failures,
+        host_downtime=result.host_downtime,
+        short_slowdown=short,
+        long_slowdown=long,
+    ).to_json()
+
+
+def placeholder_point(
+    policy, load: float, n_hosts: int, class_cutoff: float | None = None
+) -> SweepPoint:
+    """A shape-correct stand-in for a not-yet-computed point.
+
+    The parallel executor's collect pass returns these so a driver can
+    complete its sweep structurally (rows are assembled and discarded)
+    while the real simulations are recorded for dispatch.  Coordinates
+    are real; every metric is NaN.  When a fairness ``class_cutoff`` is
+    requested the short/long fields are 0.0 rather than NaN so the
+    placeholder row keeps the same columns a real row would have
+    (``as_row`` drops NaN fairness fields).
+    """
+    nan = math.nan
+    summary = Summary(
+        n_jobs=0,
+        mean_slowdown=nan,
+        var_slowdown=nan,
+        mean_waiting_slowdown=nan,
+        mean_response=nan,
+        var_response=nan,
+        mean_wait=nan,
+        max_slowdown=nan,
+        p95_slowdown=nan,
+        p99_slowdown=nan,
+        host_load_fraction=tuple(0.0 for _ in range(n_hosts)),
+        host_job_fraction=tuple(0.0 for _ in range(n_hosts)),
+    )
+    fair = 0.0 if class_cutoff is not None else nan
+    return SweepPoint(
+        policy=policy.name,
+        load=load,
+        n_hosts=n_hosts,
+        summary=summary,
+        short_slowdown=fair,
+        long_slowdown=fair,
+    )
+
+
+#: hook installed by :mod:`repro.experiments.parallel` to intercept every
+#: simulated point; ``None`` means the plain serial path.
+_POINT_INTERCEPTOR: Callable[..., "SweepPoint"] | None = None
+
+
+def set_point_interceptor(
+    interceptor: Callable[..., "SweepPoint"] | None,
+) -> Callable[..., "SweepPoint"] | None:
+    """Install ``interceptor`` on every :func:`evaluate_policy` call;
+    return the previous one so callers can restore it.
+
+    Not a public extension point; the supported consumer is the parallel
+    sweep executor, which uses it to record points during its collect
+    pass and substitute pool-computed results during replay.
+    """
+    global _POINT_INTERCEPTOR
+    previous = _POINT_INTERCEPTOR
+    _POINT_INTERCEPTOR = interceptor
+    return previous
+
+
 def evaluate_policy(
     test: Trace,
     policy,
@@ -174,47 +346,30 @@ def evaluate_policy(
     from the fast kernels to the event engine (``fallback`` records
     that).  With ``faults`` the point runs under fault injection; with
     ``class_cutoff`` the short/long mean slowdowns are recorded for
-    fairness reporting.
+    fairness reporting.  Under an active parallel executor
+    (``run_experiment(..., workers=N)``) the point is dispatched to a
+    worker pool instead — see :mod:`repro.experiments.parallel`.
     """
-    key = "|".join(
-        [
-            f"policy={policy.name}",
-            f"h={n_hosts}",
-            f"load={load!r}",
-            f"seed={seed}",
-            f"faults={faults.describe() if faults is not None else 'none'}",
-            f"cutoff={class_cutoff!r}",
-        ]
-    )
-
-    def compute() -> dict:
-        result = base_run_point(
-            lambda: simulate(
-                test, policy, n_hosts, rng=seed, faults=faults,
-                on_kernel_failure="fallback",
-            ),
-            timeout=config.point_timeout,
-            retries=config.point_retries,
-            label=f"{policy.name} @ load {load:g}",
-        )
-        trimmed = result.trimmed(warmup_fraction=config.warmup_fraction)
-        short = long = math.nan
-        if class_cutoff is not None:
-            short, long = trimmed.class_mean_slowdowns(class_cutoff)
-        return SweepPoint(
-            policy=policy.name,
+    if _POINT_INTERCEPTOR is not None:
+        return _POINT_INTERCEPTOR(
+            test=test,
+            policy=policy,
             load=load,
             n_hosts=n_hosts,
-            summary=result.summary(warmup_fraction=config.warmup_fraction),
-            fallback=result.backend == "event-fallback",
-            n_lost=result.n_lost,
-            n_failures=result.n_failures,
-            host_downtime=result.host_downtime,
-            short_slowdown=short,
-            long_slowdown=long,
-        ).to_json()
-
-    return SweepPoint.from_json(checkpointed(key, compute))
+            config=config,
+            seed=seed,
+            faults=faults,
+            class_cutoff=class_cutoff,
+        )
+    key = point_key(policy, load, n_hosts, seed, faults, class_cutoff)
+    return SweepPoint.from_json(
+        checkpointed(
+            key,
+            lambda: compute_point(
+                test, policy, load, n_hosts, config, seed, faults, class_cutoff
+            ),
+        )
+    )
 
 
 def aggregate_replications(rows: list[dict]) -> dict:

@@ -116,20 +116,31 @@ def lwl_waits(
         raise ValueError(f"n_hosts must be >= 1, got {n_hosts}")
     speeds = np.ones(n_hosts) if host_speeds is None else np.asarray(host_speeds, float)
     n = t.size
-    waits = np.empty(n)
-    hosts = np.empty(n, dtype=int)
     if np.all(speeds == 1.0):
         # Identical hosts: tie-breaks cannot affect waits, so the
-        # O(n log h) earliest-free heap is exact.
+        # O(n log h) earliest-free heap is exact.  The loop runs on
+        # plain Python floats (``tolist``) with the heap functions bound
+        # locally: indexing a NumPy array in a tight loop boxes a fresh
+        # np.float64 per access and re-resolves attributes, roughly
+        # doubling the cost of the recursion (timings in
+        # docs/PERFORMANCE.md).  Float arithmetic is IEEE-754 either
+        # way, so the waits are bit-identical.
+        t_list = t.tolist()
+        s_list = s.tolist()
+        waits_list = [0.0] * n
+        hosts_list = [0] * n
+        heappop, heappush = heapq.heappop, heapq.heappush
         free = [(0.0, i) for i in range(n_hosts)]  # already a valid heap
         for j in range(n):
-            tj = t[j]
-            v, i = heapq.heappop(free)
+            tj = t_list[j]
+            v, i = heappop(free)
             start = tj if v < tj else v
-            waits[j] = start - tj
-            hosts[j] = i
-            heapq.heappush(free, (start + s[j], i))
-        return waits, hosts
+            waits_list[j] = start - tj
+            hosts_list[j] = i
+            heappush(free, (start + s_list[j], i))
+        return np.asarray(waits_list), np.asarray(hosts_list, dtype=int)
+    waits = np.empty(n)
+    hosts = np.empty(n, dtype=int)
     # Heterogeneous speeds: which of several idle hosts is chosen now
     # changes the job's duration and every later wait, so replicate the
     # policy's exact rule — argmin of work-left, lowest index on ties.
@@ -164,29 +175,38 @@ def shortest_queue_waits(
         raise ValueError("arrival_times and sizes must be equal-length 1-D")
     speeds = np.ones(n_hosts) if host_speeds is None else np.asarray(host_speeds, float)
     n = t.size
-    waits = np.empty(n)
-    hosts = np.empty(n, dtype=int)
+    # Python-float loop state throughout (see the identical-host branch
+    # of :func:`lwl_waits`): pre-extracted lists avoid per-iteration
+    # np.float64 boxing, ``enumerate`` over the deque list avoids an
+    # index lookup per host, and the per-host expiry loop pops on a
+    # locally bound deque.  Values are bit-identical to the NumPy
+    # indexing version.
+    t_list = t.tolist()
+    s_list = s.tolist()
+    speeds_list = speeds.tolist()
+    waits_list = [0.0] * n
+    hosts_list = [0] * n
     v = [0.0] * n_hosts
     departures: list[deque[float]] = [deque() for _ in range(n_hosts)]
     for j in range(n):
-        tj = t[j]
+        tj = t_list[j]
         best = 0
         best_count = -1
-        for i in range(n_hosts):
-            d = departures[i]
+        for i, d in enumerate(departures):
             while d and d[0] <= tj:
                 d.popleft()
-            if best_count < 0 or len(d) < best_count:
-                best, best_count = i, len(d)
+            count = len(d)
+            if best_count < 0 or count < best_count:
+                best, best_count = i, count
         wait = v[best] - tj
         if wait < 0.0:
             wait = 0.0
-        waits[j] = wait
-        hosts[j] = best
-        done = tj + wait + s[j] / speeds[best]
+        waits_list[j] = wait
+        hosts_list[j] = best
+        done = tj + wait + s_list[j] / speeds_list[best]
         v[best] = done
         departures[best].append(done)
-    return waits, hosts
+    return np.asarray(waits_list), np.asarray(hosts_list, dtype=int)
 
 
 def estimated_lwl_waits(

@@ -1,0 +1,84 @@
+"""Tests for the ``repro bench`` baseline harness."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_VERSION,
+    default_output_path,
+    main,
+    render,
+    run_benchmarks,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_doc():
+    # One real quick pass shared by every assertion below (the sweep
+    # bench inside also asserts serial/parallel row identity itself).
+    return run_benchmarks(quick=True, workers=2, scale=0.02)
+
+
+class TestRunBenchmarks:
+    def test_document_schema(self, quick_doc):
+        assert quick_doc["schema_version"] == SCHEMA_VERSION
+        assert quick_doc["quick"] is True
+        env = quick_doc["environment"]
+        assert env["workers"] == 2
+        for field in ("python", "numpy", "platform", "cpu_count"):
+            assert field in env
+
+    def test_expected_entries_present(self, quick_doc):
+        names = {e["name"] for e in quick_doc["entries"]}
+        assert {
+            "kernel.fcfs_waits",
+            "kernel.lwl_waits",
+            "kernel.shortest_queue_waits",
+            "kernel.tags_waits",
+            "backend.fast",
+            "backend.event",
+            "backend.speedup",
+            "experiment.fig2.serial",
+            "experiment.fig2.parallel",
+        } <= names
+
+    def test_timings_are_positive(self, quick_doc):
+        for entry in quick_doc["entries"]:
+            assert entry["wall_s"] > 0, entry["name"]
+
+    def test_parallel_entry_records_equivalence(self, quick_doc):
+        par = next(
+            e
+            for e in quick_doc["entries"]
+            if e["name"] == "experiment.fig2.parallel"
+        )
+        assert par["rows_identical_to_serial"] is True
+        assert par["workers"] == 2
+        assert par["speedup_vs_serial"] > 0
+
+    def test_document_is_json_serializable(self, quick_doc):
+        assert json.loads(json.dumps(quick_doc)) == quick_doc
+
+
+class TestCli:
+    def test_default_output_path(self):
+        assert default_output_path("2026-08-06").name == "BENCH_2026-08-06.json"
+
+    def test_render_mentions_every_entry(self, quick_doc):
+        text = render(quick_doc)
+        for entry in quick_doc["entries"]:
+            assert entry["name"] in text
+
+    def test_main_writes_valid_json(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        rc = main(
+            ["--quick", "--workers", "2", "--scale", "0.02", "--out", str(out)]
+        )
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert doc["entries"]
+        assert str(out) in capsys.readouterr().out
