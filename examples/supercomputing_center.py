@@ -22,15 +22,16 @@ import sys
 import numpy as np
 
 from repro import LeastWorkLeftPolicy, SITAPolicy, c90, simulate
-from repro.core.cutoffs import sim_fair_cutoff, sim_opt_cutoff
 from repro.core.policies import GroupedSITAPolicy
+from repro.core.search import sim_cutoff_pair
 from repro.workloads.distributions import Empirical
 
 
 def pick_policies(train, load, n_hosts):
     """Fit cutoffs on the training half and build the candidate set."""
-    c_opt = sim_opt_cutoff(train, n_candidates=30)
-    c_fair = sim_fair_cutoff(train, n_candidates=30)
+    # One batched scan serves both searches (and refines the winners).
+    pair = sim_cutoff_pair(train, n_candidates=30)
+    c_opt, c_fair = pair.opt, pair.fair
     dist = Empirical(train.service_times)
     candidates = [LeastWorkLeftPolicy()]
     if n_hosts == 2:

@@ -50,12 +50,14 @@ from .core import (
     SITAPolicy,
     ShortestQueuePolicy,
     TAGSPolicy,
+    analytic_cutoff_pair,
     equal_load_cutoffs,
     fair_cutoff,
     fairness_gap,
     opt_cutoff,
     rule_of_thumb_cutoff,
     rule_of_thumb_fraction,
+    sim_cutoff_pair,
     sim_fair_cutoff,
     sim_opt_cutoff,
     slowdown_profile,
@@ -110,12 +112,14 @@ __all__ = [
     "SITAPolicy",
     "ShortestQueuePolicy",
     "TAGSPolicy",
+    "analytic_cutoff_pair",
     "equal_load_cutoffs",
     "fair_cutoff",
     "fairness_gap",
     "opt_cutoff",
     "rule_of_thumb_cutoff",
     "rule_of_thumb_fraction",
+    "sim_cutoff_pair",
     "sim_fair_cutoff",
     "sim_opt_cutoff",
     "slowdown_profile",

@@ -31,9 +31,12 @@ Subcommands
     checks that a parallel sweep reproduces the serial rows exactly.
 ``repro bench [--quick] [--workers N] [--out PATH]``
     Performance baseline harness: time the simulation kernels, the
-    event engine vs the fast path, and a serial-vs-parallel sweep, and
-    write a machine-readable ``BENCH_<date>.json`` (see
-    ``docs/PERFORMANCE.md``).
+    event engine vs the fast path, the shared-computation cutoff-search
+    engine vs the pre-engine per-candidate loops (``search.*``), and a
+    serial-vs-parallel sweep, and write a machine-readable
+    ``BENCH_<date>.json`` (see ``docs/PERFORMANCE.md``).  Sweep workers
+    default to ``min(4, cpu_count)``; forcing more records
+    ``oversubscribed: true`` in the baseline.
 """
 
 from __future__ import annotations

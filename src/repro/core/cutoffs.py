@@ -28,16 +28,16 @@ All searches run on a log-size axis (job sizes span 4–6 decades).
 from __future__ import annotations
 
 import math
-from typing import Callable
 
 import numpy as np
 from scipy import optimize
 
 from ..analysis.sita_analysis import analyze_sita, sita_host_loads
-from ..sim.fast import simulate_fast
+from ..sim.fast import SCAN_METRICS, simulate_fast
 from ..workloads.distributions import ServiceDistribution
 from ..workloads.traces import Trace
 from .policies.sita import SITAPolicy
+from .search import analytic_cutoff_pair, candidate_cutoffs, sim_cutoff_pair
 
 __all__ = [
     "equal_load_cutoffs",
@@ -195,24 +195,6 @@ def feasible_cutoff_range(
     return c_min, c_max
 
 
-def _analytic_objective(
-    load: float,
-    dist: ServiceDistribution,
-    metric: str,
-    host_speeds=None,
-) -> Callable[[float], float]:
-    lam = 2.0 * load / dist.mean
-
-    def objective(c: float) -> float:
-        try:
-            a = analyze_sita(lam, dist, [c], host_speeds=host_speeds)
-        except ValueError:
-            return math.inf
-        return getattr(a, metric)
-
-    return objective
-
-
 def opt_cutoff(
     load: float,
     dist: ServiceDistribution,
@@ -222,35 +204,28 @@ def opt_cutoff(
 ) -> float:
     """SITA-U-opt: the 2-host cutoff minimising the analytic ``metric``.
 
-    Coarse log-spaced grid over the feasible range followed by golden-
-    section refinement around the best bracket.  ``metric`` may be any
-    scalar field of :class:`~repro.analysis.sita_analysis.SITAAnalysis`
+    Coarse log-spaced grid followed by golden-section refinement around
+    the best bracket.  ``metric`` may be any scalar field of
+    :class:`~repro.analysis.sita_analysis.SITAAnalysis`
     (``"mean_slowdown"`` by default, per the paper's definition;
     ``"mean_response"`` gives the response-optimal variant).  With
     ``host_speeds`` the load is interpreted against total capacity
     λ = 2ρ/E[X] as usual, the per-host stability region shifts with the
     speeds, and infeasible grid points simply score ``inf``.
+
+    Thin wrapper over :func:`repro.core.search.analytic_cutoff_pair`,
+    which memoises the truncated-distribution moments across loads and
+    across the opt/fair pair; call the pair function directly when both
+    cutoffs are needed.
     """
-    if host_speeds is None:
-        c_min, c_max = feasible_cutoff_range(load, dist)
-    else:
-        c_min = max(dist.lower, dist.ppf(1e-9), 1e-300)
-        c_max = _finite_upper(dist)
-    objective = _analytic_objective(load, dist, metric, host_speeds=host_speeds)
-    grid = np.exp(np.linspace(math.log(c_min), math.log(c_max), n_grid))
-    values = np.array([objective(c) for c in grid])
-    if not np.any(np.isfinite(values)):
-        raise ValueError(f"no feasible cutoff on the grid at load {load}")
-    best = int(np.nanargmin(values))
-    lo = grid[max(0, best - 1)]
-    hi = grid[min(n_grid - 1, best + 1)]
-    res = optimize.minimize_scalar(
-        lambda lc: objective(math.exp(lc)),
-        bounds=(math.log(lo), math.log(hi)),
-        method="bounded",
-        options={"xatol": 1e-10},
-    )
-    return float(math.exp(res.x))
+    return analytic_cutoff_pair(
+        load,
+        dist,
+        want=("opt",),
+        metric=metric,
+        n_grid=n_grid,
+        host_speeds=host_speeds,
+    )["opt"]
 
 
 def fair_cutoff(
@@ -258,56 +233,18 @@ def fair_cutoff(
 ) -> float:
     """SITA-U-fair: the 2-host cutoff equalising short/long mean slowdown.
 
-    Solves ``E[S_short](c) = E[S_long](c)``; near the short end of the
-    feasible range the long host is saturated (ratio → 0) and near the
-    long end the short host is (ratio → ∞), so a sign change is guaranteed
-    and bisection on the log-ratio is robust.  ``host_speeds`` extends the
-    search to heterogeneous pairs (feasibility handled by the NaN walk).
+    Solves ``E[S_short](c) = E[S_long](c)``; the gap's log-ratio changes
+    sign across the feasible range, so a sign-change bracket plus
+    ``brentq`` is robust, with a fairest-feasible grid argmin fallback at
+    extreme loads where feasibility pins the cutoff.  ``host_speeds``
+    extends the search to heterogeneous pairs.
+
+    Thin wrapper over :func:`repro.core.search.analytic_cutoff_pair`
+    (shared evaluation axis + moment memo with the opt search).
     """
-    if host_speeds is None:
-        c_min, c_max = feasible_cutoff_range(load, dist)
-    else:
-        c_min = max(dist.lower, dist.ppf(1e-9), 1e-300)
-        c_max = _finite_upper(dist)
-    lam = 2.0 * load / dist.mean
-
-    def gap(log_c: float) -> float:
-        c = math.exp(log_c)
-        try:
-            a = analyze_sita(lam, dist, [c], host_speeds=host_speeds)
-        except ValueError:
-            return math.nan
-        s_short, s_long = a.class_mean_slowdowns()
-        return math.log(s_short / s_long)
-
-    a, b = math.log(c_min), math.log(c_max)
-    fa, fb = gap(a), gap(b)
-    # Walk inward off the saturated endpoints if they evaluated non-finite.
-    for _ in range(60):
-        if math.isfinite(fa):
-            break
-        a += (b - a) * 0.05
-        fa = gap(a)
-    for _ in range(60):
-        if math.isfinite(fb):
-            break
-        b -= (b - a) * 0.05
-        fb = gap(b)
-    if not (math.isfinite(fa) and math.isfinite(fb)):
-        raise ValueError(f"could not bracket the fair cutoff at load {load}")
-    if fa > 0.0 or fb < 0.0:
-        # No exact equal-slowdown point inside the feasible range (this
-        # happens at extreme loads, where feasibility pins the cutoff, and
-        # on small training samples).  Return the *fairest feasible*
-        # cutoff: the grid argmin of |log(S_short/S_long)|.
-        grid = np.linspace(a, b, 60)
-        gaps = np.array([abs(g) if math.isfinite(g) else math.inf
-                         for g in (gap(x) for x in grid)])
-        if not np.any(np.isfinite(gaps)):
-            raise ValueError(f"no feasible fair cutoff at load {load}")
-        return float(math.exp(grid[int(np.argmin(gaps))]))
-    root = optimize.brentq(gap, a, b, xtol=_XTOL)
-    return float(math.exp(root))
+    return analytic_cutoff_pair(
+        load, dist, want=("fair",), host_speeds=host_speeds
+    )["fair"]
 
 
 # ----------------------------------------------------------------------
@@ -460,11 +397,9 @@ def optimal_group_split(
 # ----------------------------------------------------------------------
 
 
-def _candidate_cutoffs(trace: Trace, n_candidates: int) -> np.ndarray:
-    """Log-spaced candidate cutoffs spanning the observed sizes."""
-    s = trace.service_times
-    lo, hi = float(np.min(s)), float(np.max(s))
-    return np.exp(np.linspace(math.log(lo * 1.001), math.log(hi * 0.999), n_candidates))
+#: Historical private alias — the guarded implementation lives in
+#: :func:`repro.core.search.candidate_cutoffs`.
+_candidate_cutoffs = candidate_cutoffs
 
 
 def _sim_sita_metric(
@@ -491,7 +426,22 @@ def sim_opt_cutoff(
     Evaluates a log-spaced candidate grid by direct (fast) simulation and
     returns the argmin — the paper's "experimental cutoff" procedure.
     Degenerate cutoffs (all jobs on one host) simply score badly and lose.
+
+    Thin wrapper over :func:`repro.core.search.sim_cutoff_pair`'s batched
+    scan (grid argmin is bit-identical to the historical per-candidate
+    ``simulate_fast`` loop); call the pair function directly when both
+    the opt and fair cutoffs are needed — it derives them from one scan.
     """
+    if metric in SCAN_METRICS:
+        return sim_cutoff_pair(
+            train,
+            metric=metric,
+            n_candidates=n_candidates,
+            warmup_fraction=warmup_fraction,
+            refine=False,
+        ).opt
+    # Metrics outside the scan kernel (e.g. tail percentiles) take the
+    # historical per-candidate summary loop.
     candidates = _candidate_cutoffs(train, n_candidates)
     scores = np.array(
         [_sim_sita_metric(train, c, metric, warmup_fraction) for c in candidates]
@@ -510,21 +460,14 @@ def sim_fair_cutoff(
 
     Scores each candidate by the absolute log-ratio of short/long mean
     slowdowns and returns the most balanced one.
+
+    Thin wrapper over :func:`repro.core.search.sim_cutoff_pair` (same
+    batched scan as :func:`sim_opt_cutoff`; grid argmin bit-identical to
+    the historical loop).
     """
-    candidates = _candidate_cutoffs(train, n_candidates)
-    best_c = None
-    best_gap = math.inf
-    for c in candidates:
-        policy = SITAPolicy([c], name="sita-search")
-        result = simulate_fast(train, policy, 2, rng=0)
-        trimmed = result.trimmed(warmup_fraction)
-        try:
-            s_short, s_long = trimmed.class_mean_slowdowns(c)
-        except ValueError:
-            continue  # degenerate split
-        gap = abs(math.log(s_short / s_long))
-        if gap < best_gap:
-            best_gap, best_c = gap, float(c)
-    if best_c is None:
-        raise ValueError("no candidate cutoff produced two non-empty classes")
-    return best_c
+    return sim_cutoff_pair(
+        train,
+        n_candidates=n_candidates,
+        warmup_fraction=warmup_fraction,
+        refine=False,
+    ).fair

@@ -25,11 +25,8 @@ from typing import Callable
 
 import numpy as np
 
-from ..core.cutoffs import (
-    equal_load_cutoffs,
-    fair_cutoff,
-    opt_cutoff,
-)
+from ..core.cutoffs import equal_load_cutoffs
+from ..core.search import analytic_cutoff_pair
 from ..core.policies import (
     GroupedSITAPolicy,
     LeastWorkLeftPolicy,
@@ -188,17 +185,20 @@ def fit_sita_cutoffs(
     of the empirical (training) size distribution; ``"fair"`` equalises
     the analytic short/long slowdowns — the paper's §4.1 procedure.
     """
+    unknown = [v for v in variants if v not in ("e", "opt", "fair")]
+    if unknown:
+        raise ValueError(f"unknown SITA variant {unknown[0]!r}")
     dist = Empirical(train.service_times)
+    # One engine call derives opt and fair off a shared evaluation axis
+    # (and a shared moment memo — see repro.core.search).
+    want = tuple(dict.fromkeys(v for v in variants if v != "e"))
+    pair = analytic_cutoff_pair(load, dist, want=want) if want else {}
     out: dict[str, float] = {}
     for v in variants:
         if v == "e":
             out[v] = float(equal_load_cutoffs(dist, 2)[0])
-        elif v == "opt":
-            out[v] = opt_cutoff(load, dist)
-        elif v == "fair":
-            out[v] = fair_cutoff(load, dist)
         else:
-            raise ValueError(f"unknown SITA variant {v!r}")
+            out[v] = pair[v]
     return out
 
 

@@ -10,7 +10,8 @@ the fig2/fig4 simulations directly.
 
 from __future__ import annotations
 
-from ..core.cutoffs import equal_load_cutoffs, fair_cutoff, opt_cutoff
+from ..core.cutoffs import equal_load_cutoffs
+from ..core.search import analytic_cutoff_pair
 from ..analysis.policies import (
     predict_lwl,
     predict_random,
@@ -70,10 +71,13 @@ def run_fig9(config: ExperimentConfig) -> ExperimentResult:
     sita_e = equal_load_cutoffs(dist, 2)
     rows = []
     for load in config.sweep_loads():
+        # One engine call per load; the moment memo carries the
+        # truncated-distribution integrals across the whole sweep.
+        pair = analytic_cutoff_pair(load, dist)
         variants = {
             "sita-e": sita_e,
-            "sita-u-opt": [opt_cutoff(load, dist)],
-            "sita-u-fair": [fair_cutoff(load, dist)],
+            "sita-u-opt": [pair["opt"]],
+            "sita-u-fair": [pair["fair"]],
         }
         for name, cutoffs in variants.items():
             pred = predict_sita(load, dist, 2, cutoffs, name)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
@@ -11,6 +12,7 @@ from repro.bench import (
     default_output_path,
     main,
     render,
+    resolve_workers,
     run_benchmarks,
 )
 
@@ -41,9 +43,32 @@ class TestRunBenchmarks:
             "backend.fast",
             "backend.event",
             "backend.speedup",
+            "search.sim_pair",
+            "search.analytic_sweep",
             "experiment.fig2.serial",
             "experiment.fig2.parallel",
         } <= names
+
+    def test_search_entries_record_equivalence_and_speedups(self, quick_doc):
+        sim = next(
+            e for e in quick_doc["entries"] if e["name"] == "search.sim_pair"
+        )
+        assert sim["argmin_identical_to_loop"] is True
+        assert sim["speedup_vs_loop"] > 0
+        assert sim["loop_wall_s"] > 0 and sim["refined_wall_s"] > 0
+        ana = next(
+            e
+            for e in quick_doc["entries"]
+            if e["name"] == "search.analytic_sweep"
+        )
+        assert ana["speedup_vs_unshared"] > 0
+        assert ana["unshared_wall_s"] > 0
+
+    def test_oversubscription_recorded(self, quick_doc):
+        # workers=2 was forced; whether that oversubscribes depends on
+        # the host's core count — the env field must agree either way.
+        cpus = os.cpu_count() or 1
+        assert quick_doc["environment"]["oversubscribed"] is (2 > cpus)
 
     def test_timings_are_positive(self, quick_doc):
         for entry in quick_doc["entries"]:
@@ -61,6 +86,25 @@ class TestRunBenchmarks:
 
     def test_document_is_json_serializable(self, quick_doc):
         assert json.loads(json.dumps(quick_doc)) == quick_doc
+
+
+class TestResolveWorkers:
+    def test_default_capped_at_core_count(self):
+        cpus = os.cpu_count() or 1
+        workers, oversubscribed = resolve_workers(None)
+        assert workers == min(4, cpus)
+        assert oversubscribed is False
+
+    def test_forced_workers_honoured_and_flagged(self):
+        cpus = os.cpu_count() or 1
+        workers, oversubscribed = resolve_workers(cpus + 1)
+        assert workers == cpus + 1
+        assert oversubscribed is True
+
+    def test_within_budget_not_flagged(self):
+        workers, oversubscribed = resolve_workers(1)
+        assert workers == 1
+        assert oversubscribed is False
 
 
 class TestCli:
