@@ -52,6 +52,7 @@ from scipy import optimize
 
 from ..analysis.mg1 import MG1Metrics, safe_inverse_moments
 from ..analysis.sita_analysis import SITAAnalysis, SITAHost
+from ..sim.contract import kernel_contract
 from ..sim.fast import SitaScanKernel, SitaScanResult, simulate_fast
 from ..workloads.distributions import Empirical, ServiceDistribution
 from ..workloads.traces import Trace
@@ -133,6 +134,12 @@ def _golden_min(
 # ----------------------------------------------------------------------
 
 
+@kernel_contract(
+    shapes={"return": ("m",)},
+    dtypes={"return": "float64"},
+    writes=(),
+    contiguous=("return",),
+)
 def candidate_cutoffs(trace: Trace, n_candidates: int) -> np.ndarray:
     """Log-spaced candidate cutoffs spanning the observed sizes.
 
@@ -608,6 +615,12 @@ def _finite_upper(dist: ServiceDistribution) -> float:
     return u if math.isfinite(u) else dist.ppf(1.0 - 1e-12)
 
 
+@kernel_contract(
+    shapes={"return": ("m",)},
+    dtypes={"return": "float64"},
+    writes=(),
+    contiguous=("return",),
+)
 def _shared_axis(dist: ServiceDistribution, n_grid: int) -> np.ndarray:
     """The load-independent log-cutoff axis every search point shares.
 

@@ -8,8 +8,11 @@ docstrings:
 
 * a **static pass** — ``repro lint`` / :func:`lint_paths` — runs the
   per-file AST rules ``SIM001`` … ``SIM007``
-  (:mod:`repro.devtools.rules`) plus the whole-program flow rules
-  ``SIM101`` … ``SIM106`` (:mod:`repro.devtools.flow`), which see a
+  (:mod:`repro.devtools.rules`), the whole-program flow rules
+  ``SIM101`` … ``SIM106`` (:mod:`repro.devtools.flow`), and the
+  kernel-contract / concurrency rules ``SIM201`` … ``SIM210``
+  (:mod:`repro.devtools.contracts`, selectable via ``--profile
+  kernels|concurrency|all``); the latter two tiers share one
   project-wide symbol table and call graph
   (:mod:`repro.devtools.graph`);
 * a **runtime pass**, in two layers — ``Simulator(strict=True)`` or the
@@ -23,6 +26,14 @@ Everything is zero-dependency (stdlib :mod:`ast` + :mod:`hashlib` only)
 and documented rule by rule in ``docs/DEVTOOLS.md``.
 """
 
+from .contracts import (
+    CONTRACT_RULES,
+    PROFILES,
+    StaticContract,
+    contract_index,
+    register_contract,
+    run_contract_rules,
+)
 from .findings import Finding, format_findings, sort_findings
 from .graph import (
     PROJECT_RULES,
@@ -33,11 +44,15 @@ from .graph import (
 )
 from .lint import (
     LintError,
+    LintStats,
+    apply_baseline,
     collect_files,
     lint_paths,
     lint_source,
+    load_baseline,
     load_config,
     resolve_selection,
+    write_baseline,
 )
 from .rules import RULES, LintContext, Rule, register, run_rules
 
@@ -46,13 +61,23 @@ __all__ = [
     "format_findings",
     "sort_findings",
     "LintError",
+    "LintStats",
+    "apply_baseline",
     "collect_files",
     "lint_paths",
     "lint_source",
+    "load_baseline",
     "load_config",
     "resolve_selection",
+    "write_baseline",
     "RULES",
     "PROJECT_RULES",
+    "CONTRACT_RULES",
+    "PROFILES",
+    "StaticContract",
+    "contract_index",
+    "register_contract",
+    "run_contract_rules",
     "ProjectGraph",
     "ProjectRule",
     "register_project",

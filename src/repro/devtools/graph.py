@@ -206,14 +206,24 @@ def _dotted_of(node: ast.AST) -> tuple[str, ...]:
 class ProjectGraph:
     """All modules under analysis plus a call index keyed by callee."""
 
+    #: total number of :meth:`build` calls this process has made — the
+    #: ``repro lint --stats`` line proves one build is shared by every
+    #: whole-program pass (flow + contract tiers).
+    builds_total: ClassVar[int] = 0
+
     def __init__(self) -> None:
         self.modules: dict[str, ModuleInfo] = {}
         self.by_path: dict[str, ModuleInfo] = {}
         self.calls: dict[str, list[CallSite]] = {}
+        #: scratch space for analyses that amortise work across rules in
+        #: one lint run (contract index, worker reachability, …).  Keyed
+        #: by analysis name; owned by whichever pass computes it first.
+        self.analysis_cache: dict[str, object] = {}
 
     @classmethod
     def build(cls, parsed: Iterable[tuple[str, ast.Module]]) -> "ProjectGraph":
         """Construct the graph from ``(path, tree)`` pairs."""
+        ProjectGraph.builds_total += 1
         graph = cls()
         for path, tree in parsed:
             info = ModuleInfo(

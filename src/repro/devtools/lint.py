@@ -3,20 +3,35 @@
 Usage::
 
     repro lint [paths] [--select SIM001,SIM004] [--ignore SIM006] \\
-               [--format text|json]
+               [--profile kernels|concurrency|all] [--format text|json] \\
+               [--baseline FILE | --no-baseline] [--update-baseline] [--stats]
     python -m repro.devtools.lint src/repro tests
 
 Exit codes follow the classic contract: **0** clean, **1** findings,
 **2** usage error (unknown rule ID, unreadable path).
 
 Selection defaults come from ``[tool.repro.lint]`` in ``pyproject.toml``
-(``select``/``ignore`` arrays), so CI and developers run the same
-configuration with no flags.  A finding can be suppressed at a single
-line with the pragma::
+(``select``/``ignore`` arrays, plus a ``baseline`` file path), so CI and
+developers run the same configuration with no flags.  ``--profile``
+names a curated rule set (``kernels`` = SIM201–SIM205, ``concurrency``
+= SIM206–SIM210, ``all`` = every registered rule across all three
+tiers).  A finding can be suppressed at a single line with the pragma::
 
     risky_line()  # repro: noqa SIM003
     other_line()  # repro: noqa SIM001, SIM005
     anything()    # repro: noqa          (suppresses every rule)
+
+An *explicit-rule* pragma on a function's header (its ``def`` line or
+any decorator line) widens to the whole function body — that is how a
+kernel exempts itself from one contract rule without peppering every
+statement.  The bare form stays line-granular on purpose: a blanket
+whole-function exemption should never be one keystroke.
+
+Intentional findings that cannot be fixed (a documented workaround, a
+vendored idiom) live in a committed **baseline** file: findings matching
+a ``(path, rule, message)`` entry are reported as baselined and do not
+fail the run.  ``--update-baseline`` rewrites the file from the current
+findings; review its diff like any other code change.
 
 Suppressions are deliberate exemptions — each should be justifiable in
 review, which is exactly why they are spelled in full at the site.
@@ -26,26 +41,36 @@ from __future__ import annotations
 
 import argparse
 import ast
+import json
 import os
 import re
 import sys
+import time
+from collections import Counter
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from . import contracts as _contracts  # noqa: F401  (registers SIM201+)
 from . import flow as _flow  # noqa: F401  (imported to register SIM101+)
+from .contracts import CONTRACT_RULES, PROFILES, run_contract_rules
 from .findings import Finding, format_findings, sort_findings
 from .graph import PROJECT_RULES, ProjectGraph, run_project_rules
 from .rules import RULES, LintContext, run_rules
 
 __all__ = [
     "LintError",
+    "LintStats",
     "add_lint_arguments",
+    "apply_baseline",
     "collect_files",
     "lint_source",
     "lint_paths",
+    "load_baseline",
     "load_config",
     "resolve_selection",
     "run_from_args",
+    "write_baseline",
     "main",
 ]
 
@@ -67,8 +92,12 @@ class LintError(Exception):
 
 
 def _all_rule_ids() -> set[str]:
-    """Every known rule ID: per-file (SIM00x) plus whole-program (SIM10x)."""
-    return set(RULES) | set(PROJECT_RULES)
+    """Every known rule ID across the three tiers.
+
+    Per-file (SIM00x), whole-program flow (SIM10x) and kernel-contract /
+    concurrency (SIM20x).
+    """
+    return set(RULES) | set(PROJECT_RULES) | set(CONTRACT_RULES)
 
 
 def _validate_rules(ids: Iterable[str], origin: str) -> set[str]:
@@ -88,9 +117,29 @@ def _validate_rules(ids: Iterable[str], origin: str) -> set[str]:
 def resolve_selection(
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
+    profile: str | None = None,
 ) -> set[str]:
-    """Final rule-ID set: ``select`` (default: all rules) minus ``ignore``."""
-    chosen = _validate_rules(select, "--select") if select else _all_rule_ids()
+    """Final rule-ID set.
+
+    A ``profile`` names the base set (``kernels``, ``concurrency``, or
+    ``all`` = every registered rule); without one the base is every rule.
+    ``select`` then *narrows* the base (intersection when a profile is
+    active, replacement otherwise — a bare ``--select`` is already an
+    exact request), and ``ignore`` always subtracts.
+    """
+    if profile is not None:
+        if profile == "all":
+            base = _all_rule_ids()
+        elif profile in PROFILES:
+            base = set(PROFILES[profile])
+        else:
+            known = ", ".join([*sorted(PROFILES), "all"])
+            raise LintError(f"unknown profile {profile!r} (known: {known})")
+        if select:
+            base &= _validate_rules(select, "--select")
+        chosen = base
+    else:
+        chosen = _validate_rules(select, "--select") if select else _all_rule_ids()
     chosen -= _validate_rules(ignore, "--ignore") if ignore else set()
     return chosen
 
@@ -183,24 +232,61 @@ def _noqa_map(source: str) -> dict[int, set[str] | None]:
     return out
 
 
-def _apply_noqa(
-    findings: Iterable[Finding], noqa: dict[str, dict[int, set[str] | None]]
-) -> list[Finding]:
-    """Drop findings suppressed by a pragma on their own line."""
-    kept = []
-    for finding in findings:
-        rules_at_line = noqa.get(finding.path, {}).get(finding.line, "absent")
-        if rules_at_line is None or (
-            isinstance(rules_at_line, set) and finding.rule in rules_at_line
-        ):
+@dataclass
+class _Noqa:
+    """One file's suppressions: exact lines plus function-wide spans."""
+
+    lines: dict[int, set[str] | None] = field(default_factory=dict)
+    #: (first header line, last body line, rules) for explicit-rule
+    #: pragmas sitting on a ``def`` or decorator line.
+    spans: list[tuple[int, int, frozenset[str]]] = field(default_factory=list)
+
+    def suppresses(self, finding: Finding) -> bool:
+        at_line = self.lines.get(finding.line, "absent")
+        if at_line is None:
+            return True
+        if isinstance(at_line, set) and finding.rule in at_line:
+            return True
+        return any(
+            start <= finding.line <= end and finding.rule in rules
+            for start, end, rules in self.spans
+        )
+
+
+def _function_spans(
+    tree: ast.Module, lines: dict[int, set[str] | None]
+) -> list[tuple[int, int, frozenset[str]]]:
+    """Widen explicit-rule header pragmas to the whole function body.
+
+    A ``# repro: noqa: SIMxxx`` on a function's ``def`` line or on any of
+    its decorator lines suppresses those rules from the first decorator
+    through the function's last line.  Bare pragmas stay line-only — a
+    blanket whole-function exemption must name what it exempts.
+    """
+    spans: list[tuple[int, int, frozenset[str]]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             continue
-        kept.append(finding)
-    return kept
+        header = [d.lineno for d in node.decorator_list] + [node.lineno]
+        rules: set[str] = set()
+        for lineno in header:
+            at_line = lines.get(lineno)
+            if isinstance(at_line, set):
+                rules |= at_line
+        if rules and node.end_lineno is not None:
+            spans.append((min(header), node.end_lineno, frozenset(rules)))
+    return spans
+
+
+def _apply_noqa(findings: Iterable[Finding], noqa: dict[str, _Noqa]) -> list[Finding]:
+    """Drop findings suppressed by a line pragma or a function-header span."""
+    empty = _Noqa()
+    return [f for f in findings if not noqa.get(f.path, empty).suppresses(f)]
 
 
 def _lint_one(
     source: str, path: str, chosen: set[str]
-) -> tuple[list[Finding], ast.Module | None, dict[int, set[str] | None]]:
+) -> tuple[list[Finding], ast.Module | None, _Noqa]:
     """Per-file pass: (suppressed findings, tree for the project pass, noqa)."""
     try:
         tree = ast.parse(source, filename=path)
@@ -212,11 +298,49 @@ def _lint_one(
             rule=SYNTAX_RULE,
             message=f"syntax error: {exc.msg}",
         )
-        return [finding], None, {}
+        return [finding], None, _Noqa()
     ctx = LintContext.for_path(path)
     findings = run_rules(tree, ctx, select=chosen)
-    suppressed = _noqa_map(source)
+    lines = _noqa_map(source)
+    suppressed = _Noqa(lines=lines, spans=_function_spans(tree, lines))
     return _apply_noqa(findings, {path: suppressed}), tree, suppressed
+
+
+@dataclass
+class LintStats:
+    """Timing/volume counters for one :func:`lint_paths` run (``--stats``)."""
+
+    files: int = 0
+    findings: int = 0
+    baselined: int = 0
+    graph_builds: int = 0
+    parse_seconds: float = 0.0
+    graph_seconds: float = 0.0
+    rules_seconds: float = 0.0
+
+    def summary(self) -> str:
+        return (
+            f"stats: files={self.files} findings={self.findings} "
+            f"baselined={self.baselined} graph-builds={self.graph_builds} "
+            f"parse={self.parse_seconds:.3f}s graph={self.graph_seconds:.3f}s "
+            f"rules={self.rules_seconds:.3f}s"
+        )
+
+
+def _needs_graph(chosen: set[str]) -> bool:
+    return bool(chosen & (set(PROJECT_RULES) | set(CONTRACT_RULES)))
+
+
+def _run_graph_rules(
+    graph: ProjectGraph, chosen: set[str], noqa: dict[str, _Noqa]
+) -> list[Finding]:
+    """Both whole-program tiers (flow + contracts) over one shared graph."""
+    findings: list[Finding] = []
+    if chosen & set(PROJECT_RULES):
+        findings.extend(run_project_rules(graph, select=chosen))
+    if chosen & set(CONTRACT_RULES):
+        findings.extend(run_contract_rules(graph, select=chosen))
+    return _apply_noqa(findings, noqa)
 
 
 def lint_source(
@@ -224,20 +348,21 @@ def lint_source(
     path: str = "<string>",
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
+    profile: str | None = None,
 ) -> list[Finding]:
     """Lint one source string as if it lived at ``path``.
 
     ``path`` drives the path-scoped rules: pass a virtual location like
     ``src/repro/sim/x.py`` to lint a snippet under ``sim`` conventions.
-    The whole-program rules (SIM101+) run too, over a one-module graph —
-    flow within the snippet is visible, callers outside it are not.
+    The whole-program rules (SIM101+ and SIM201+) run too, over a
+    one-module graph — flow within the snippet is visible, callers
+    outside it are not.
     """
-    chosen = resolve_selection(select, ignore)
+    chosen = resolve_selection(select, ignore, profile)
     findings, tree, suppressed = _lint_one(source, path, chosen)
-    if tree is not None and chosen & set(PROJECT_RULES):
+    if tree is not None and _needs_graph(chosen):
         graph = ProjectGraph.build([(path, tree)])
-        project = run_project_rules(graph, select=chosen)
-        findings.extend(_apply_noqa(project, {path: suppressed}))
+        findings.extend(_run_graph_rules(graph, chosen, {path: suppressed}))
     return sort_findings(findings)
 
 
@@ -259,18 +384,25 @@ def lint_paths(
     paths: Sequence[str | Path],
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
+    profile: str | None = None,
+    stats: LintStats | None = None,
 ) -> list[Finding]:
     """Lint every ``.py`` file under ``paths``.
 
-    Two passes share one parse: the per-file rules see each tree in
-    isolation; the whole-program rules (SIM101+) see a
+    The passes share one parse: the per-file rules see each tree in
+    isolation; the whole-program tiers (flow SIM101+ and contracts
+    SIM201+) both see a single
     :class:`~repro.devtools.graph.ProjectGraph` built from every parsed
-    file, so seed flow across modules is visible.
+    file — the graph is constructed exactly once per run, and its
+    ``analysis_cache`` lets the contract rules share the expensive
+    interprocedural facts (``--stats`` reports the build count).
     """
-    chosen = resolve_selection(select, ignore)
+    chosen = resolve_selection(select, ignore, profile)
     findings: list[Finding] = []
     parsed: list[tuple[str, ast.Module]] = []
-    noqa: dict[str, dict[int, set[str] | None]] = {}
+    noqa: dict[str, _Noqa] = {}
+    builds_before = ProjectGraph.builds_total
+    t0 = time.perf_counter()
     for file in collect_files(paths):
         source = file.read_text(encoding="utf-8")
         per_file, tree, suppressed = _lint_one(source, str(file), chosen)
@@ -278,10 +410,87 @@ def lint_paths(
         if tree is not None:
             parsed.append((str(file), tree))
             noqa[str(file)] = suppressed
-    if parsed and chosen & set(PROJECT_RULES):
+    t1 = time.perf_counter()
+    graph_seconds = 0.0
+    if parsed and _needs_graph(chosen):
         graph = ProjectGraph.build(parsed)
-        findings.extend(_apply_noqa(run_project_rules(graph, select=chosen), noqa))
+        graph_seconds = time.perf_counter() - t1
+        findings.extend(_run_graph_rules(graph, chosen, noqa))
+    t2 = time.perf_counter()
+    if stats is not None:
+        stats.files = len(parsed)
+        stats.findings = len(findings)
+        stats.graph_builds = ProjectGraph.builds_total - builds_before
+        stats.parse_seconds = t1 - t0
+        stats.graph_seconds = graph_seconds
+        stats.rules_seconds = (t2 - t1) - graph_seconds
     return sort_findings(findings)
+
+
+# ---------------------------------------------------------------------------
+# baseline
+# ---------------------------------------------------------------------------
+
+#: default baseline file name (overridable via pyproject / --baseline).
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+
+
+def _baseline_key(finding: Finding) -> tuple[str, str, str]:
+    # Deliberately no line number: baselined findings must survive
+    # unrelated edits shifting them around the file.
+    return (Path(finding.path).as_posix(), finding.rule, finding.message)
+
+
+def load_baseline(path: Path) -> Counter[tuple[str, str, str]]:
+    """Parse a baseline file into a multiset of ``(path, rule, message)``."""
+    try:
+        entries = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return Counter()
+    except (OSError, json.JSONDecodeError) as exc:
+        raise LintError(f"unreadable baseline {path}: {exc}") from exc
+    if not isinstance(entries, list):
+        raise LintError(f"baseline {path} must be a JSON list of entries")
+    out: Counter[tuple[str, str, str]] = Counter()
+    for entry in entries:
+        try:
+            out[(entry["path"], entry["rule"], entry["message"])] += 1
+        except (TypeError, KeyError) as exc:
+            raise LintError(
+                f"baseline {path}: each entry needs path/rule/message keys"
+            ) from exc
+    return out
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Counter[tuple[str, str, str]]
+) -> tuple[list[Finding], int]:
+    """Split findings into (fresh, count-baselined).
+
+    The baseline is a multiset: two identical findings need two entries,
+    so fixing one of a duplicated pair still surfaces in CI.
+    """
+    remaining = Counter(baseline)
+    fresh: list[Finding] = []
+    matched = 0
+    for finding in findings:
+        key = _baseline_key(finding)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            matched += 1
+        else:
+            fresh.append(finding)
+    return fresh, matched
+
+
+def write_baseline(findings: Sequence[Finding], path: Path) -> int:
+    """Rewrite ``path`` from the current findings; returns the entry count."""
+    entries = [
+        {"path": p, "rule": r, "message": m}
+        for p, r, m in sorted(_baseline_key(f) for f in findings)
+    ]
+    path.write_text(json.dumps(entries, indent=2) + "\n", encoding="utf-8")
+    return len(entries)
 
 
 # ---------------------------------------------------------------------------
@@ -316,12 +525,42 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="comma-separated rule IDs to skip",
     )
     parser.add_argument(
+        "--profile",
+        choices=(*sorted(PROFILES), "all"),
+        default=None,
+        help="named rule set: kernels (SIM201-205), concurrency "
+        "(SIM206-210), or all registered rules",
+    )
+    parser.add_argument(
         "--format",
         "--output-format",
         dest="format",
         choices=("text", "json", "github"),
         default="text",
         help="report format (default: text; github = Actions annotations)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=f"baseline file of accepted findings (default: pyproject "
+        f"'baseline' key, else {DEFAULT_BASELINE} if present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file: report every finding",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print a one-line timing/volume summary to stderr",
     )
     parser.add_argument(
         "--list-rules",
@@ -339,28 +578,71 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _baseline_path(args: argparse.Namespace, config: dict) -> Path | None:
+    """Where the baseline lives for this invocation, or ``None`` for off."""
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return args.baseline
+    configured = config.get("baseline")
+    if isinstance(configured, str) and configured:
+        return Path(configured)
+    default = Path(DEFAULT_BASELINE)
+    if default.is_file() or args.update_baseline:
+        return default
+    return None
+
+
 def run_from_args(args: argparse.Namespace) -> int:
     """Execute a parsed lint invocation; returns the process exit code."""
     if args.list_rules:
         combined: dict[str, str] = {
             **{rid: cls.summary for rid, cls in RULES.items()},
             **{rid: cls.summary for rid, cls in PROJECT_RULES.items()},
+            **{rid: cls.summary for rid, cls in CONTRACT_RULES.items()},
         }
         for rule_id in sorted(combined):
             print(f"{rule_id}  {combined[rule_id]}")
         return 0
+    config = load_config(Path(args.paths[0]).resolve() if args.paths else None)
     # CLI selection flags replace the pyproject defaults wholesale — mixing
     # a command-line --select with a configured ignore list surprises.
     if args.select is not None or args.ignore is not None:
         select, ignore = args.select, args.ignore
+    elif args.profile is not None:
+        # an explicit --profile names the complete base set; the pyproject
+        # select/ignore defaults must not narrow it behind the user's back.
+        select = ignore = None
     else:
-        config = load_config(Path(args.paths[0]).resolve() if args.paths else None)
         select, ignore = config.get("select"), config.get("ignore")
+    stats = LintStats() if args.stats else None
     try:
-        findings = lint_paths(args.paths, select=select, ignore=ignore)
+        findings = lint_paths(
+            args.paths,
+            select=select,
+            ignore=ignore,
+            profile=args.profile,
+            stats=stats,
+        )
+        baseline_file = _baseline_path(args, config)
+        if args.update_baseline:
+            if baseline_file is None:
+                raise LintError("--update-baseline conflicts with --no-baseline")
+            count = write_baseline(findings, baseline_file)
+            print(f"wrote {count} baseline entries to {baseline_file}")
+            return 0
+        baselined = 0
+        if baseline_file is not None:
+            findings, baselined = apply_baseline(
+                findings, load_baseline(baseline_file)
+            )
     except LintError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if stats is not None:
+        stats.findings = len(findings)
+        stats.baselined = baselined
+        print(stats.summary(), file=sys.stderr)
     try:
         print(format_findings(findings, fmt=args.format))
     except BrokenPipeError:

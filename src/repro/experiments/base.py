@@ -177,13 +177,22 @@ class ExperimentResult:
         return "\n".join(lines)
 
     def to_csv(self, path) -> None:
-        """Write the rows as CSV."""
+        """Write the rows as CSV (atomically: tmp + fsync + replace).
+
+        Same discipline as :class:`Checkpoint`: a reader — or a resumed
+        run scanning output directories — never sees a torn file, even
+        if the writer is killed mid-row.
+        """
         path = Path(path)
-        with path.open("w", newline="") as fh:
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        with tmp.open("w", newline="") as fh:
             writer = csv.DictWriter(fh, fieldnames=self.columns, extrasaction="ignore")
             writer.writeheader()
             for row in self.rows:
                 writer.writerow(row)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
 
 
 _REGISTRY: dict[str, tuple[str, Callable[[ExperimentConfig], ExperimentResult]]] = {}

@@ -37,6 +37,7 @@ import numpy as np
 
 from ..workloads.distributions import _as_rng
 from ..workloads.traces import Trace
+from .contract import kernel_contract
 from .engine import InvariantViolation
 from .metrics import SimulationResult, observe_result
 
@@ -75,6 +76,12 @@ def _check_kernel_output(policy_name: str, waits: np.ndarray) -> None:
         )
 
 
+@kernel_contract(
+    shapes={"arrival_times": ("n",), "sizes": ("n",), "return": ("n",)},
+    dtypes={"arrival_times": "float64", "sizes": "float64", "return": "float64"},
+    writes=(),
+    contiguous=("arrival_times", "sizes"),
+)
 def fcfs_waits(arrival_times: np.ndarray, sizes: np.ndarray) -> np.ndarray:
     """Waiting times of one FCFS single-server queue (vectorised Lindley).
 
@@ -95,6 +102,24 @@ def fcfs_waits(arrival_times: np.ndarray, sizes: np.ndarray) -> np.ndarray:
     return prefix - np.minimum.accumulate(prefix)
 
 
+@kernel_contract(
+    shapes={
+        "arrival_times": ("n",),
+        "sizes": ("n",),
+        "host_speeds": ("h",),
+        "return[0]": ("n",),
+        "return[1]": ("n",),
+    },
+    dtypes={
+        "arrival_times": "float64",
+        "sizes": "float64",
+        "host_speeds": "float64",
+        "return[0]": "float64",
+        "return[1]": "int64",
+    },
+    writes=(),
+    contiguous=("arrival_times", "sizes"),
+)
 def lwl_waits(
     arrival_times: np.ndarray,
     sizes: np.ndarray,
@@ -162,6 +187,24 @@ def lwl_waits(
     return waits, hosts
 
 
+@kernel_contract(
+    shapes={
+        "arrival_times": ("n",),
+        "sizes": ("n",),
+        "host_speeds": ("h",),
+        "return[0]": ("n",),
+        "return[1]": ("n",),
+    },
+    dtypes={
+        "arrival_times": "float64",
+        "sizes": "float64",
+        "host_speeds": "float64",
+        "return[0]": "float64",
+        "return[1]": "int64",
+    },
+    writes=(),
+    contiguous=("arrival_times", "sizes"),
+)
 def shortest_queue_waits(
     arrival_times: np.ndarray,
     sizes: np.ndarray,
@@ -214,6 +257,24 @@ def shortest_queue_waits(
     return np.asarray(waits_list), np.asarray(hosts_list, dtype=int)
 
 
+@kernel_contract(
+    shapes={
+        "arrival_times": ("n",),
+        "sizes": ("n",),
+        "estimates": ("n",),
+        "return[0]": ("n",),
+        "return[1]": ("n",),
+    },
+    dtypes={
+        "arrival_times": "float64",
+        "sizes": "float64",
+        "estimates": "float64",
+        "return[0]": "float64",
+        "return[1]": "int64",
+    },
+    writes=(),
+    contiguous=("arrival_times", "sizes", "estimates"),
+)
 def estimated_lwl_waits(
     arrival_times: np.ndarray,
     sizes: np.ndarray,
@@ -254,6 +315,24 @@ def estimated_lwl_waits(
     return waits, hosts
 
 
+@kernel_contract(
+    shapes={
+        "arrival_times": ("n",),
+        "sizes": ("n",),
+        "return[0]": ("n",),
+        "return[1]": ("n",),
+        "return[2]": ("n",),
+    },
+    dtypes={
+        "arrival_times": "float64",
+        "sizes": "float64",
+        "return[0]": "float64",
+        "return[1]": "int64",
+        "return[2]": "float64",
+    },
+    writes=(),
+    contiguous=("arrival_times", "sizes"),
+)
 def tags_waits(
     arrival_times: np.ndarray, sizes: np.ndarray, cutoffs
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -461,6 +540,26 @@ SCAN_METRICS = (
 _ScanRow = tuple[float, float, float, float, int]
 
 
+@kernel_contract(
+    shapes={
+        "t": ("n",),
+        "s": ("n",),
+        "out": ("n_out",),
+        "work1": ("n_w1",),
+        "work2": ("n_w2",),
+        "return": ("n",),
+    },
+    dtypes={
+        "t": "float64",
+        "s": "float64",
+        "out": "float64",
+        "work1": "float64",
+        "work2": "float64",
+        "return": "float64",
+    },
+    writes=("out", "work1", "work2"),
+    contiguous=("t", "s", "out", "work1", "work2"),
+)
 def _fcfs_waits_into(
     t: np.ndarray,
     s: np.ndarray,
@@ -672,6 +771,12 @@ class SitaScanKernel:
             k,
         )
 
+    @kernel_contract(
+        shapes={"return": ("n",)},
+        dtypes={"return": "float64"},
+        writes=(),
+        contiguous=("return",),
+    )
     def waits_for_cutoff(self, cutoff: float) -> np.ndarray:
         """Untrimmed per-job waits at ``cutoff``, in a fresh array.
 
@@ -711,6 +816,11 @@ class SitaScanKernel:
         )
 
 
+@kernel_contract(
+    shapes={"candidates": ("m",)},
+    dtypes={"candidates": ("float64", "int64")},
+    writes=(),
+)
 def sita_scan(
     trace: Trace,
     candidates,

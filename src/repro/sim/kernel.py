@@ -1,0 +1,60 @@
+"""The contract-carrying kernel tier: the surface a compiled backend ports.
+
+Every function re-exported here carries a machine-verified
+:class:`~repro.sim.contract.KernelContract` — dtype, shape, aliasing,
+contiguity and write-set declarations that the static checker
+(``repro lint --profile kernels``, rules SIM201–SIM205) verifies at
+every call site and that the runtime validator enforces under
+``REPRO_SIM_STRICT=1``.  When the ROADMAP's compiled (Numba/Cython)
+tier lands, this module is its porting checklist: a compiled kernel
+may assume exactly what the contract declares, nothing more.
+
+Import kernels from here when you care about the contract surface::
+
+    from repro.sim.kernel import fcfs_waits, lwl_waits
+
+The implementations live in :mod:`repro.sim.fast`; this module adds no
+behaviour, only the stable, contract-audited namespace.
+"""
+
+from .contract import (
+    ContractViolation,
+    KernelContract,
+    contract_of,
+    contract_validation,
+    kernel_contract,
+    set_contract_validation,
+    validation_enabled,
+)
+from .fast import (
+    SCAN_METRICS,
+    SitaScanKernel,
+    SitaScanResult,
+    estimated_lwl_waits,
+    fcfs_waits,
+    lwl_waits,
+    shortest_queue_waits,
+    simulate_fast,
+    sita_scan,
+    tags_waits,
+)
+
+__all__ = [
+    "SCAN_METRICS",
+    "ContractViolation",
+    "KernelContract",
+    "SitaScanKernel",
+    "SitaScanResult",
+    "contract_of",
+    "contract_validation",
+    "estimated_lwl_waits",
+    "fcfs_waits",
+    "kernel_contract",
+    "lwl_waits",
+    "set_contract_validation",
+    "shortest_queue_waits",
+    "simulate_fast",
+    "sita_scan",
+    "tags_waits",
+    "validation_enabled",
+]

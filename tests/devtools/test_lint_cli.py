@@ -160,3 +160,154 @@ def test_python_dash_m_entry_point(tree):
     )
     assert proc.returncode == 1
     assert "SIM001" in proc.stdout
+
+
+# ---------------------------------------------------------------------------
+# profiles, baseline, --stats (the contract tier's CLI surface)
+# ---------------------------------------------------------------------------
+
+CONTRACTED = """\
+from repro.sim.contract import kernel_contract
+import numpy as np
+
+@kernel_contract(dtypes={"xs": "float64"})
+def kern(xs):
+    return xs
+
+def caller():
+    return kern(np.zeros(4, dtype=np.int32))
+"""
+
+
+@pytest.fixture
+def contract_tree(tmp_path: Path) -> Path:
+    pkg = tmp_path / "src" / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    (pkg / "kern.py").write_text(CONTRACTED)
+    return tmp_path
+
+
+def test_profile_kernels_runs_contract_rules(contract_tree, capsys):
+    target = contract_tree / "src" / "repro" / "sim" / "kern.py"
+    assert lint_main([str(target), "--profile", "kernels", "--no-baseline"]) == 1
+    out = capsys.readouterr().out
+    assert "SIM201" in out
+
+
+def test_profile_concurrency_skips_kernel_rules(contract_tree, capsys):
+    target = contract_tree / "src" / "repro" / "sim" / "kern.py"
+    assert lint_main([str(target), "--profile", "concurrency", "--no-baseline"]) == 0
+    assert "all clean" in capsys.readouterr().out
+
+
+def test_profile_all_includes_every_tier(contract_tree, capsys):
+    target = contract_tree / "src" / "repro" / "sim" / "kern.py"
+    assert lint_main([str(target), "--profile", "all", "--no-baseline"]) == 1
+    assert "SIM201" in capsys.readouterr().out
+
+
+def test_profile_intersects_with_select(contract_tree, capsys):
+    target = contract_tree / "src" / "repro" / "sim" / "kern.py"
+    code = lint_main(
+        [str(target), "--profile", "kernels", "--select", "SIM205", "--no-baseline"]
+    )
+    assert code == 0
+    assert "all clean" in capsys.readouterr().out
+
+
+def test_baseline_roundtrip(contract_tree, capsys):
+    target = contract_tree / "src" / "repro" / "sim" / "kern.py"
+    baseline = contract_tree / "baseline.json"
+    assert (
+        lint_main(
+            [
+                str(target),
+                "--profile",
+                "kernels",
+                "--baseline",
+                str(baseline),
+                "--update-baseline",
+            ]
+        )
+        == 0
+    )
+    assert "wrote 1 baseline entries" in capsys.readouterr().out
+    entries = json.loads(baseline.read_text())
+    assert [e["rule"] for e in entries] == ["SIM201"]
+    assert "line" not in entries[0]
+    # baselined finding no longer fails the run …
+    assert (
+        lint_main(
+            [str(target), "--profile", "kernels", "--baseline", str(baseline)]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    # … but --no-baseline still surfaces it
+    assert lint_main([str(target), "--profile", "kernels", "--no-baseline"]) == 1
+
+
+def test_baseline_is_a_multiset(contract_tree, capsys):
+    """Two identical findings need two entries — fixing one still reports."""
+    pkg = contract_tree / "src" / "repro" / "sim"
+    (pkg / "kern.py").write_text(
+        CONTRACTED + "\ndef caller2():\n    return kern(np.zeros(4, dtype=np.int32))\n"
+    )
+    baseline = contract_tree / "baseline.json"
+    target = pkg / "kern.py"
+    lint_main(
+        [
+            str(target),
+            "--profile",
+            "kernels",
+            "--baseline",
+            str(baseline),
+            "--update-baseline",
+        ]
+    )
+    capsys.readouterr()
+    entries = json.loads(baseline.read_text())
+    assert len(entries) == 2
+    # drop one entry: one of the two findings is fresh again
+    baseline.write_text(json.dumps(entries[:1]))
+    assert (
+        lint_main(
+            [str(target), "--profile", "kernels", "--baseline", str(baseline)]
+        )
+        == 1
+    )
+
+
+def test_baseline_path_from_pyproject(contract_tree, capsys):
+    baseline = contract_tree / "accepted.json"
+    (contract_tree / "pyproject.toml").write_text(
+        f'[tool.repro.lint]\nbaseline = "{baseline}"\n'
+    )
+    target = contract_tree / "src" / "repro" / "sim" / "kern.py"
+    lint_main([str(target), "--profile", "kernels", "--update-baseline"])
+    capsys.readouterr()
+    assert baseline.is_file()
+    assert lint_main([str(target), "--profile", "kernels"]) == 0
+
+
+def test_stats_reports_a_single_graph_build(contract_tree, capsys):
+    target = contract_tree / "src" / "repro" / "sim" / "kern.py"
+    lint_main([str(target), "--profile", "all", "--stats", "--no-baseline"])
+    err = capsys.readouterr().err
+    assert "graph-builds=1" in err
+    assert "files=1" in err
+
+
+def test_unknown_profile_is_a_usage_error(contract_tree, capsys):
+    import argparse
+
+    from repro.devtools.lint import build_parser, run_from_args
+
+    # argparse rejects it at parse time; resolve_selection guards API users
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["--profile", "nope"])
+    from repro.devtools.lint import LintError, resolve_selection
+
+    with pytest.raises(LintError):
+        resolve_selection(profile="nope")
