@@ -13,17 +13,20 @@ assert thresholds: absolute numbers are machine-dependent (CI runners
 differ wildly), so the JSON records the environment alongside every
 entry and comparisons are made between files from the same machine.
 
-Schema (``schema_version`` 1)::
+Schema (``schema_version`` 2)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "created": "YYYY-MM-DD",
       "quick": false,
-      "environment": {"python": …, "numpy": …, "platform": …,
-                       "cpu_count": …, "workers": …, "oversubscribed": …},
+      "environment": {"python": …, "numpy": …, "numba": … | null,
+                       "platform": …, "cpu_count": …, "workers": …,
+                       "oversubscribed": …},
       "entries": [
-        {"name": "kernel.lwl_waits", "wall_s": …, "n_jobs": …,
-         "jobs_per_s": …},
+        {"name": "kernel.lwl_waits", "tier": "python", "wall_s": …,
+         "n_jobs": …, "jobs_per_s": …},
+        {"name": "kernel.lwl_waits", "tier": "compiled", "wall_s": …,
+         "n_jobs": …, "jobs_per_s": …, "speedup_vs_python": …},
         …,
         {"name": "search.sim_pair", "wall_s": …, "loop_wall_s": …,
          "speedup_vs_loop": …, "argmin_identical_to_loop": true},
@@ -33,6 +36,13 @@ Schema (``schema_version`` 1)::
          "speedup_vs_serial": …}, …
       ]
     }
+
+Every ``kernel.*`` entry carries a ``tier``: the python rows are always
+measured (under a forced ``kernel_tier("python")``), and when the
+certified compiled tier (:mod:`repro.sim.compiled`) is importable the
+ported kernels get a second, ``"compiled"`` row with its
+``speedup_vs_python`` — so one baseline file shows both tiers of the
+trajectory.  Schema 1 predates the ``tier``/``numba`` fields.
 
 Sweep workers default to ``min(4, cpu_count)``; forcing more with
 ``--workers`` records ``oversubscribed: true`` in the environment so
@@ -65,7 +75,7 @@ __all__ = [
     "run_from_args",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def _time(fn: Callable[[], object], repeats: int) -> float:
@@ -87,30 +97,60 @@ def _kernel_workload(n_jobs: int, seed: int = 20000731):
 
 
 def _bench_kernels(n_jobs: int, repeats: int) -> list[dict]:
-    """Per-kernel throughput (the satellite-optimised Python loops and
-    the vectorised Lindley passes)."""
+    """Per-kernel throughput, tier by tier.
+
+    The python rows are always measured under a forced
+    ``kernel_tier("python")`` so they stay comparable across machines
+    with and without numba; kernels with a certified compiled port get a
+    second ``tier: "compiled"`` row with its ``speedup_vs_python``.
+    """
+    from .sim.compiled import compiled_available, kernel_tier
     from .sim.fast import fcfs_waits, lwl_waits, shortest_queue_waits, tags_waits
 
     t, s = _kernel_workload(n_jobs)
     cutoffs = [float(np.quantile(s, 0.5)), float(np.quantile(s, 0.9))]
-    kernels: list[tuple[str, Callable[[], object]]] = [
-        ("kernel.fcfs_waits", lambda: fcfs_waits(t, s)),
-        ("kernel.lwl_waits", lambda: lwl_waits(t, s, 4)),
-        ("kernel.shortest_queue_waits", lambda: shortest_queue_waits(t, s, 4)),
-        ("kernel.tags_waits", lambda: tags_waits(t, s, cutoffs)),
+    # (name, thunk, has a compiled port)
+    kernels: list[tuple[str, Callable[[], object], bool]] = [
+        ("kernel.fcfs_waits", lambda: fcfs_waits(t, s), False),
+        ("kernel.lwl_waits", lambda: lwl_waits(t, s, 4), True),
+        ("kernel.shortest_queue_waits", lambda: shortest_queue_waits(t, s, 4), True),
+        ("kernel.tags_waits", lambda: tags_waits(t, s, cutoffs), False),
     ]
     entries = []
-    for name, fn in kernels:
-        fn()  # warm
-        wall = _time(fn, repeats)
-        entries.append(
-            {
-                "name": name,
-                "wall_s": wall,
-                "n_jobs": n_jobs,
-                "jobs_per_s": n_jobs / wall if wall > 0 else None,
-            }
-        )
+    python_wall: dict[str, float] = {}
+    with kernel_tier("python"):
+        for name, fn, _ported in kernels:
+            fn()  # warm
+            wall = _time(fn, repeats)
+            python_wall[name] = wall
+            entries.append(
+                {
+                    "name": name,
+                    "tier": "python",
+                    "wall_s": wall,
+                    "n_jobs": n_jobs,
+                    "jobs_per_s": n_jobs / wall if wall > 0 else None,
+                }
+            )
+    if compiled_available():
+        with kernel_tier("compiled"):
+            for name, fn, ported in kernels:
+                if not ported:
+                    continue
+                fn()  # warm (pays the JIT compile outside the timing)
+                wall = _time(fn, repeats)
+                entries.append(
+                    {
+                        "name": name,
+                        "tier": "compiled",
+                        "wall_s": wall,
+                        "n_jobs": n_jobs,
+                        "jobs_per_s": n_jobs / wall if wall > 0 else None,
+                        "speedup_vs_python": (
+                            python_wall[name] / wall if wall > 0 else None
+                        ),
+                    }
+                )
     return entries
 
 
@@ -265,6 +305,13 @@ def _bench_sweep(scale: float, workers: int) -> list[dict]:
     ]
 
 
+def _numba_version() -> str | None:
+    """The numba version the compiled tier saw, or ``None``."""
+    from .sim.compiled import NUMBA_VERSION
+
+    return NUMBA_VERSION
+
+
 def resolve_workers(requested: int | None) -> tuple[int, bool]:
     """Pool size for the sweep bench, capped at the visible core count.
 
@@ -304,6 +351,7 @@ def run_benchmarks(
         "environment": {
             "python": platform.python_version(),
             "numpy": np.__version__,
+            "numba": _numba_version(),
             "platform": platform.platform(),
             "cpu_count": os.cpu_count(),
             "workers": workers,
@@ -331,11 +379,15 @@ def render(doc: dict) -> str:
         if e.get("jobs_per_s"):
             extra.append(f"{e['jobs_per_s'] / 1e3:8.0f}k jobs/s")
         for key in ("speedup_vs_event", "speedup_vs_loop",
-                    "speedup_vs_unshared", "speedup_vs_serial"):
+                    "speedup_vs_unshared", "speedup_vs_serial",
+                    "speedup_vs_python"):
             if e.get(key):
                 extra.append(f"{e[key]:.2f}x {key.split('_vs_')[1]}")
+        label = e["name"]
+        if "tier" in e:
+            label = f"{label}[{e['tier']}]"
         lines.append(
-            f"  {e['name']:32s} {e['wall_s'] * 1e3:10.1f} ms  " + "  ".join(extra)
+            f"  {label:32s} {e['wall_s'] * 1e3:10.1f} ms  " + "  ".join(extra)
         )
     return "\n".join(lines)
 

@@ -1,0 +1,805 @@
+"""Compile-readiness rules SIM301–SIM308 (the nopython certifier).
+
+The compiled kernel tier (:mod:`repro.sim.compiled`) runs hot-loop
+recursions under ``numba.njit``.  A kernel is only allowed into that
+tier when its body is *provably* nopython-safe — the same
+lint-before-trust discipline the devtools layer applies to seeds
+(SIM101+) and array ABIs (SIM201+), extended to compilability:
+
+========  ==========================================================
+SIM301    object-mode constructs (dict/str/closure/generator/
+          ``**kwargs``) in a nopython kernel body
+SIM302    dtype-unstable rebinding vs the declared contract dtypes
+SIM303    NumPy API surface Numba rejects (``out=``/``kind=`` keyword
+          forms, list-literal fancy-index writes, array growth in
+          loops)
+SIM304    hidden allocation inside the hot loop
+SIM305    reflected-list / mutable-global capture
+SIM306    call-out to a function outside the certified closure
+          (fixpoint over the project graph)
+SIM307    branch-dependent return dtype/shape vs the contract
+SIM308    Python ``int`` overflow hazards vs 64-bit lanes
+========  ==========================================================
+
+Scope: **only** functions whose ``@kernel_contract`` declares
+``nopython=True``.  The pure-NumPy kernels in :mod:`repro.sim.fast`
+use Python-level conveniences freely; these rules never look at them.
+
+Certification is whole-closure: a kernel is *certified* when its own
+body passes SIM301–SIM305 and SIM307–SIM308 **and** every project
+function it calls is itself certified (SIM306 runs this to a fixpoint,
+so decertifying one helper decertifies its whole dependency cone).
+The certified set is serialised into a committed manifest
+(``src/repro/sim/compiled_manifest.json``)::
+
+    python -m repro.devtools.compile_rules --write-manifest
+    python -m repro.devtools.compile_rules --check   # CI freshness gate
+
+:mod:`repro.sim.compiled` reads the manifest at import and registers a
+compiled kernel only when its fully-qualified name is listed — an
+uncertified kernel silently stays on the python tier.
+
+Every verdict is conservative in the usual linter direction: unknown
+facts never report.  Rules whose positive findings provably break
+``numba.njit`` compilation set ``compile_breaking = True``; the
+differential test suite asserts that static verdict against the real
+compiler on every fixture.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, ClassVar, Iterator, Sequence
+
+from .contracts import PROFILES, StaticContract, contract_index, _unit_facts
+from .findings import Finding
+from .graph import FunctionInfo, ModuleInfo, ProjectGraph, ProjectRule
+from .rules import _dotted, _terminal_name
+
+__all__ = [
+    "COMPILE_RULES",
+    "KernelCertification",
+    "certification",
+    "certified_kernels",
+    "manifest_payload",
+    "register_compile",
+    "run_compile_rules",
+    "main",
+]
+
+#: registry of compile-readiness rules, ``id`` → class.
+COMPILE_RULES: dict[str, type["CompileRule"]] = {}
+
+#: default manifest location (relative to the repository root).
+DEFAULT_MANIFEST = Path("src/repro/sim/compiled_manifest.json")
+
+MANIFEST_SCHEMA_VERSION = 1
+
+#: builtins Numba supports that kernels may call freely.
+_SAFE_BUILTINS = frozenset(
+    {
+        "abs", "bool", "divmod", "enumerate", "float", "int", "len",
+        "max", "min", "range", "round", "zip",
+    }
+)
+
+#: module prefixes whose functions Numba provides natively.
+_SAFE_MODULE_PREFIXES = ("numpy.", "math.", "numba.")
+
+#: numpy constructors that allocate a fresh array (SIM304's loop check).
+_ALLOC_CTORS = frozenset(
+    {
+        "empty", "zeros", "ones", "full", "arange", "linspace", "array",
+        "asarray", "ascontiguousarray", "empty_like", "zeros_like",
+        "ones_like", "full_like",
+    }
+)
+
+#: allocating array *methods* (on any receiver) for the loop check.
+_ALLOC_METHODS = frozenset({"astype", "copy"})
+
+#: numpy keyword arguments Numba's overloads reject.
+_REJECTED_NUMPY_KWARGS = frozenset({"out", "kind", "where", "casting"})
+
+#: numpy calls that grow an array (quadratic when placed in a loop).
+_GROWTH_CALLS = frozenset({"append", "concatenate", "hstack", "vstack", "stack"})
+
+_INT64_MAX = 2**63 - 1
+
+
+# ---------------------------------------------------------------------------
+# certification results (memoised on the graph)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class KernelCertification:
+    """The compile-readiness verdict for one ``nopython=True`` kernel."""
+
+    contract: StaticContract
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def certified(self) -> bool:
+        return not self.findings
+
+
+def _finding(
+    contract: StaticContract, node: ast.AST, rule_id: str, message: str
+) -> Finding:
+    return Finding(
+        path=contract.fn.module.path,
+        line=getattr(node, "lineno", contract.fn.node.lineno),
+        col=getattr(node, "col_offset", 0) + 1,
+        rule=rule_id,
+        message=message,
+    )
+
+
+def _body_walk(fn_node: ast.AST) -> Iterator[ast.AST]:
+    """Every node in the function *body* (the ``def`` itself excluded)."""
+    for stmt in getattr(fn_node, "body", []):
+        yield from ast.walk(stmt)
+
+
+def _parent_map(fn_node: ast.AST) -> dict[int, ast.AST]:
+    parents: dict[int, ast.AST] = {}
+    for stmt in getattr(fn_node, "body", []):
+        for parent in ast.walk(stmt):
+            for child in ast.iter_child_nodes(parent):
+                parents[id(child)] = parent
+    return parents
+
+
+def _loop_bodies(fn_node: ast.AST) -> Iterator[ast.AST]:
+    """Every node nested under a ``for``/``while`` in the body."""
+    for node in _body_walk(fn_node):
+        if isinstance(node, (ast.For, ast.While)):
+            for stmt in node.body + node.orelse:
+                yield from ast.walk(stmt)
+
+
+def _resolved_callee(module: ModuleInfo, call: ast.Call) -> str | None:
+    """Fully-qualified callee of ``call`` as seen from ``module``.
+
+    ``None`` when the callee is not statically resolvable — a method
+    call on a local value, a call through a variable — which the rules
+    treat as safe (conservative: unknown never reports).
+    """
+    dotted = _dotted(call.func)
+    if not dotted:
+        return None
+    head = dotted[0]
+    if len(dotted) > 1 and head not in module.imports and not (
+        head in module.functions or head in module.classes or head in module.constants
+    ):
+        return None  # attribute on a local value: an array/scalar method
+    return module.resolve(dotted)
+
+
+def _is_numpy_call(module: ModuleInfo, call: ast.Call) -> bool:
+    fq = _resolved_callee(module, call)
+    return fq is not None and fq.startswith("numpy.")
+
+
+def _store_names(fn_node: ast.AST) -> set[str]:
+    """Every name bound anywhere in the body (assignments, loop targets)."""
+    out: set[str] = set()
+    for node in _body_walk(fn_node):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            out.add(node.id)
+    return out
+
+
+def _param_names(fn: FunctionInfo) -> list[str]:
+    a = fn.node.args
+    return [p.arg for p in (*a.posonlyargs, *a.args, *a.kwonlyargs)]
+
+
+# ---------------------------------------------------------------------------
+# per-kernel body checks (SIM301–SIM305, SIM307, SIM308)
+# ---------------------------------------------------------------------------
+
+
+def _check_object_mode(
+    graph: ProjectGraph, contract: StaticContract
+) -> list[Finding]:
+    """SIM301 — constructs that force Numba's object mode (or fail typing)."""
+    fn_node = contract.fn.node
+    out: list[Finding] = []
+
+    def report(node: ast.AST, what: str) -> None:
+        out.append(
+            _finding(
+                contract,
+                node,
+                "SIM301",
+                f"nopython kernel {contract.fn.qualname} uses {what}; "
+                "object-mode constructs cannot compile under njit",
+            )
+        )
+
+    args = getattr(fn_node, "args", None)
+    if args is not None and (args.vararg or args.kwarg):
+        report(fn_node, "*args/**kwargs in its signature")
+    for node in _body_walk(fn_node):
+        if isinstance(node, (ast.Dict, ast.DictComp)):
+            report(node, "a dict")
+        elif isinstance(node, (ast.Set, ast.SetComp)):
+            report(node, "a set")
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            report(node, "a closure")
+        elif isinstance(node, (ast.Yield, ast.YieldFrom, ast.GeneratorExp)):
+            report(node, "a generator")
+        elif isinstance(node, ast.JoinedStr):
+            report(node, "an f-string")
+        elif isinstance(node, (ast.Await, ast.With, ast.AsyncWith)):
+            report(node, "a context/await construct")
+        elif isinstance(node, ast.Call) and _terminal_name(node.func) == "format":
+            report(node, "str.format")
+    return out
+
+
+def _check_dtype_stability(
+    graph: ProjectGraph, contract: StaticContract
+) -> list[Finding]:
+    """SIM302 — a declared-dtype name rebound to a different known dtype."""
+    module = contract.fn.module
+    facts = _unit_facts(graph, module, contract.fn)
+    out: list[Finding] = []
+    for node in _body_walk(contract.fn.node):
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        declared = contract.dtype_names(target.id)
+        if not declared:
+            continue
+        fact = facts.of_expr(node.value)
+        if fact is not None and fact.dtype is not None and fact.dtype not in declared:
+            out.append(
+                _finding(
+                    contract,
+                    node,
+                    "SIM302",
+                    f"{contract.fn.qualname} rebinds {target.id} to dtype "
+                    f"{fact.dtype} but the contract declares "
+                    f"{'/'.join(declared)}; promotion drift changes the "
+                    "compiled kernel's lane type",
+                )
+            )
+    return out
+
+
+def _check_numpy_surface(
+    graph: ProjectGraph, contract: StaticContract
+) -> list[Finding]:
+    """SIM303 — NumPy forms Numba's overloads reject."""
+    module = contract.fn.module
+    fn_node = contract.fn.node
+    out: list[Finding] = []
+    for node in _body_walk(fn_node):
+        if isinstance(node, ast.Call) and _is_numpy_call(module, node):
+            for kw in node.keywords:
+                if kw.arg in _REJECTED_NUMPY_KWARGS:
+                    out.append(
+                        _finding(
+                            contract,
+                            node,
+                            "SIM303",
+                            f"{contract.fn.qualname} passes {kw.arg}= to "
+                            f"np.{_terminal_name(node.func)}; numba's "
+                            "overload rejects that keyword — write the "
+                            "loop explicitly instead",
+                        )
+                    )
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Subscript) and isinstance(
+                    target.slice, ast.List
+                ):
+                    out.append(
+                        _finding(
+                            contract,
+                            target,
+                            "SIM303",
+                            f"{contract.fn.qualname} writes through a "
+                            "list-literal fancy index; reflected-list "
+                            "indices do not compile — use a slice or an "
+                            "explicit loop",
+                        )
+                    )
+    for node in _loop_bodies(fn_node):
+        if (
+            isinstance(node, ast.Call)
+            and _is_numpy_call(module, node)
+            and _terminal_name(node.func) in _GROWTH_CALLS
+        ):
+            out.append(
+                _finding(
+                    contract,
+                    node,
+                    "SIM303",
+                    f"{contract.fn.qualname} grows an array with "
+                    f"np.{_terminal_name(node.func)} inside a loop; "
+                    "preallocate before the loop",
+                )
+            )
+    return out
+
+
+def _check_loop_allocation(
+    graph: ProjectGraph, contract: StaticContract
+) -> list[Finding]:
+    """SIM304 — fresh-array allocation inside the hot loop."""
+    module = contract.fn.module
+    out: list[Finding] = []
+    for node in _loop_bodies(contract.fn.node):
+        if not isinstance(node, ast.Call):
+            continue
+        tail = _terminal_name(node.func)
+        allocates = (
+            tail in _ALLOC_CTORS and _is_numpy_call(module, node)
+        ) or (isinstance(node.func, ast.Attribute) and tail in _ALLOC_METHODS)
+        if allocates:
+            out.append(
+                _finding(
+                    contract,
+                    node,
+                    "SIM304",
+                    f"{contract.fn.qualname} allocates ({tail}) inside "
+                    "its hot loop; hoist the buffer out of the loop",
+                )
+            )
+    return out
+
+
+def _check_reflection(
+    graph: ProjectGraph, contract: StaticContract
+) -> list[Finding]:
+    """SIM305 — reflected-list literals and mutable-global capture."""
+    module = contract.fn.module
+    fn_node = contract.fn.node
+    out: list[Finding] = []
+    parents = _parent_map(fn_node)
+    for node in _body_walk(fn_node):
+        if isinstance(node, ast.List):
+            # climb through nested literals to the consuming expression
+            anchor: ast.AST = node
+            while isinstance(parents.get(id(anchor)), (ast.List, ast.Tuple)):
+                anchor = parents[id(anchor)]
+            consumer = parents.get(id(anchor))
+            if (
+                isinstance(consumer, ast.Call)
+                and _terminal_name(consumer.func)
+                in ("array", "asarray", "ascontiguousarray")
+                and anchor in consumer.args
+            ):
+                continue  # np.array([...]) literal payload compiles fine
+            out.append(
+                _finding(
+                    contract,
+                    node,
+                    "SIM305",
+                    f"{contract.fn.qualname} builds a Python list; "
+                    "reflected lists are deprecated under njit — use a "
+                    "NumPy buffer",
+                )
+            )
+    local = set(_param_names(contract.fn)) | _store_names(fn_node)
+    flagged: set[str] = set()
+    for node in _body_walk(fn_node):
+        if not (isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)):
+            continue
+        name = node.id
+        if name in local or name in flagged:
+            continue
+        const = module.constants.get(name)
+        if isinstance(const, (ast.List, ast.Dict, ast.Set, ast.ListComp)):
+            flagged.add(name)
+            out.append(
+                _finding(
+                    contract,
+                    node,
+                    "SIM305",
+                    f"{contract.fn.qualname} captures mutable module "
+                    f"global {name}; globals are frozen at compile time "
+                    "and list/dict globals do not type — pass state as "
+                    "an array argument",
+                )
+            )
+    return out
+
+
+def _check_return_stability(
+    graph: ProjectGraph, contract: StaticContract
+) -> list[Finding]:
+    """SIM307 — return dtype/shape varies by branch or defies the contract."""
+    module = contract.fn.module
+    facts = _unit_facts(graph, module, contract.fn)
+    declared = contract.dtype_names("return")
+    declared_shape = contract.shapes.get("return")
+    out: list[Finding] = []
+    seen_dtypes: dict[str, ast.Return] = {}
+    for node in _body_walk(contract.fn.node):
+        if not isinstance(node, ast.Return) or node.value is None:
+            continue
+        fact = facts.of_expr(node.value)
+        if fact is None:
+            continue
+        if fact.dtype is not None:
+            if declared and fact.dtype not in declared:
+                out.append(
+                    _finding(
+                        contract,
+                        node,
+                        "SIM307",
+                        f"{contract.fn.qualname} returns dtype {fact.dtype} "
+                        f"where the contract declares {'/'.join(declared)}; "
+                        "njit cannot unify the branch types",
+                    )
+                )
+            elif seen_dtypes and fact.dtype not in seen_dtypes:
+                first = next(iter(seen_dtypes))
+                out.append(
+                    _finding(
+                        contract,
+                        node,
+                        "SIM307",
+                        f"{contract.fn.qualname} returns dtype {fact.dtype} "
+                        f"on this branch but {first} on another; njit "
+                        "cannot unify branch-dependent return types",
+                    )
+                )
+            seen_dtypes.setdefault(fact.dtype, node)
+        if (
+            declared_shape is not None
+            and fact.ndim is not None
+            and fact.ndim != len(declared_shape)
+        ):
+            out.append(
+                _finding(
+                    contract,
+                    node,
+                    "SIM307",
+                    f"{contract.fn.qualname} returns a {fact.ndim}-D array "
+                    f"where the contract declares {len(declared_shape)}-D",
+                )
+            )
+    return out
+
+
+def _check_int_overflow(
+    graph: ProjectGraph, contract: StaticContract
+) -> list[Finding]:
+    """SIM308 — integer expressions that exceed the int64 lanes njit uses."""
+    out: list[Finding] = []
+
+    def literal_int(node: ast.expr) -> int | None:
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            inner = literal_int(node.operand)
+            return None if inner is None else -inner
+        if isinstance(node, ast.Constant) and type(node.value) is int:
+            return node.value
+        return None
+
+    for node in _body_walk(contract.fn.node):
+        value: int | None = None
+        if isinstance(node, ast.Constant):
+            value = literal_int(node)
+        elif isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.Pow, ast.LShift)
+        ):
+            left, right = literal_int(node.left), literal_int(node.right)
+            if left is not None and right is not None and 0 <= right < 1024:
+                value = left**right if isinstance(node.op, ast.Pow) else left << right
+        if value is not None and not -_INT64_MAX - 1 <= value <= _INT64_MAX:
+            out.append(
+                _finding(
+                    contract,
+                    node,
+                    "SIM308",
+                    f"{contract.fn.qualname} computes the integer {value} "
+                    "which exceeds int64; Python's arbitrary precision "
+                    "silently becomes wraparound under njit",
+                )
+            )
+    return out
+
+
+_BODY_CHECKS: tuple[
+    Callable[[ProjectGraph, StaticContract], list[Finding]], ...
+] = (
+    _check_object_mode,
+    _check_dtype_stability,
+    _check_numpy_surface,
+    _check_loop_allocation,
+    _check_reflection,
+    _check_return_stability,
+    _check_int_overflow,
+)
+
+
+# ---------------------------------------------------------------------------
+# SIM306: closure certification fixpoint
+# ---------------------------------------------------------------------------
+
+
+def _closure_violations(
+    graph: ProjectGraph,
+    contract: StaticContract,
+    certified_nodes: set[int],
+) -> list[Finding]:
+    module = contract.fn.module
+    out: list[Finding] = []
+    for node in _body_walk(contract.fn.node):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if len(dotted) == 1 and dotted[0] in _SAFE_BUILTINS:
+            continue
+        fq = _resolved_callee(module, node)
+        if fq is None or fq.startswith(_SAFE_MODULE_PREFIXES):
+            continue
+        target = graph.function(fq)
+        if target is None or id(target.node) in certified_nodes:
+            continue
+        out.append(
+            _finding(
+                contract,
+                node,
+                "SIM306",
+                f"{contract.fn.qualname} calls {fq} which is not a "
+                "certified nopython kernel; the whole reachable closure "
+                "must certify before this kernel can compile",
+            )
+        )
+    return out
+
+
+def certification(graph: ProjectGraph) -> dict[str, KernelCertification]:
+    """Compile-readiness verdicts for every ``nopython=True`` contract.
+
+    Keyed by the kernel's defining fully-qualified name (aliases from
+    re-exports collapse onto one entry).  Memoised on the graph's
+    ``analysis_cache`` — rule classes and the manifest writer share one
+    certification pass per lint run.
+    """
+    cached = graph.analysis_cache.get("compile_certification")
+    if cached is not None:
+        return cached
+    results: dict[str, KernelCertification] = {}
+    seen_nodes: set[int] = set()
+    for fq in sorted(contract_index(graph)):
+        contract = contract_index(graph)[fq]
+        if not contract.nopython or id(contract.fn.node) in seen_nodes:
+            continue
+        seen_nodes.add(id(contract.fn.node))
+        cert = KernelCertification(contract=contract)
+        for check in _BODY_CHECKS:
+            cert.findings.extend(check(graph, contract))
+        results[contract.fn.fqname] = cert
+    certified_nodes = {
+        id(cert.contract.fn.node)
+        for cert in results.values()
+        if cert.certified
+    }
+    changed = True
+    while changed:
+        changed = False
+        for cert in results.values():
+            if cert.findings:
+                continue
+            bad = _closure_violations(graph, cert.contract, certified_nodes)
+            if bad:
+                cert.findings.extend(bad)
+                certified_nodes.discard(id(cert.contract.fn.node))
+                changed = True
+    graph.analysis_cache["compile_certification"] = results
+    return results
+
+
+def certified_kernels(graph: ProjectGraph) -> list[str]:
+    """Fully-qualified names of every certified nopython kernel, sorted."""
+    return sorted(
+        fq for fq, cert in certification(graph).items() if cert.certified
+    )
+
+
+# ---------------------------------------------------------------------------
+# rule registry (findings are views over the shared certification)
+# ---------------------------------------------------------------------------
+
+
+class CompileRule(ProjectRule):
+    """One SIM30x rule: filters its findings out of the certification."""
+
+    #: a positive finding implies ``numba.njit`` provably fails on the
+    #: body (the differential fixture suite asserts this); rules whose
+    #: positives compile-but-misbehave (allocation churn, silent
+    #: wraparound) leave it False.
+    compile_breaking: ClassVar[bool] = False
+
+    def check(self) -> None:
+        for cert in certification(self.graph).values():
+            self.findings.extend(
+                f for f in cert.findings if f.rule == self.id
+            )
+
+
+def register_compile(cls: type[CompileRule]) -> type[CompileRule]:
+    if not cls.id:
+        raise ValueError(f"{cls.__name__} must define a rule id")
+    if cls.id in COMPILE_RULES:
+        raise ValueError(f"duplicate compile rule id {cls.id}")
+    COMPILE_RULES[cls.id] = cls
+    return cls
+
+
+@register_compile
+class ObjectModeRule(CompileRule):
+    id = "SIM301"
+    summary = "nopython kernel uses an object-mode construct"
+    compile_breaking = True
+
+
+@register_compile
+class DtypeStabilityRule(CompileRule):
+    id = "SIM302"
+    summary = "nopython kernel rebinds a declared-dtype name to another dtype"
+
+
+@register_compile
+class NumpySurfaceRule(CompileRule):
+    id = "SIM303"
+    summary = "nopython kernel uses a NumPy form numba rejects"
+    compile_breaking = True
+
+
+@register_compile
+class LoopAllocationRule(CompileRule):
+    id = "SIM304"
+    summary = "nopython kernel allocates inside its hot loop"
+
+
+@register_compile
+class ReflectionRule(CompileRule):
+    id = "SIM305"
+    summary = "nopython kernel captures a reflected list or mutable global"
+    compile_breaking = True
+
+
+@register_compile
+class ClosureRule(CompileRule):
+    id = "SIM306"
+    summary = "nopython kernel calls outside the certified closure"
+    compile_breaking = True
+
+
+@register_compile
+class ReturnStabilityRule(CompileRule):
+    id = "SIM307"
+    summary = "nopython kernel's return dtype/shape is branch-dependent"
+    compile_breaking = True
+
+
+@register_compile
+class IntOverflowRule(CompileRule):
+    id = "SIM308"
+    summary = "nopython kernel computes an integer exceeding int64"
+
+
+def run_compile_rules(
+    graph: ProjectGraph, select: set[str] | None = None
+) -> list[Finding]:
+    """Run the registered compile-readiness rules over ``graph``."""
+    findings: list[Finding] = []
+    for rule_id in sorted(COMPILE_RULES):
+        if select is not None and rule_id not in select:
+            continue
+        rule = COMPILE_RULES[rule_id](graph)
+        rule.check()
+        findings.extend(rule.findings)
+    return findings
+
+
+PROFILES["compile"] = frozenset(COMPILE_RULES)
+
+
+# ---------------------------------------------------------------------------
+# certification manifest
+# ---------------------------------------------------------------------------
+
+
+def build_graph(root: Path) -> ProjectGraph:
+    """Parse every ``.py`` file under ``root`` into one project graph."""
+    parsed: list[tuple[str, ast.Module]] = []
+    for path in sorted(root.rglob("*.py")):
+        parsed.append(
+            (str(path), ast.parse(path.read_text(encoding="utf-8")))
+        )
+    return ProjectGraph.build(parsed)
+
+
+def manifest_payload(root: Path) -> dict:
+    """The manifest document for the source tree under ``root``.
+
+    Listing the rule set alongside the certified kernels makes adding a
+    rule invalidate the committed manifest — re-certification is forced
+    through the ``--check`` CI gate, never skipped silently.
+    """
+    graph = build_graph(root)
+    return {
+        "schema_version": MANIFEST_SCHEMA_VERSION,
+        "rules": sorted(COMPILE_RULES),
+        "certified": certified_kernels(graph),
+    }
+
+
+def render_manifest(payload: dict) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.compile_rules",
+        description="certify nopython kernels and maintain the manifest",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path("src/repro"),
+        help="source tree to certify (default: src/repro)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=DEFAULT_MANIFEST,
+        help=f"manifest path (default: {DEFAULT_MANIFEST})",
+    )
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--write-manifest",
+        action="store_true",
+        help="regenerate the certification manifest",
+    )
+    group.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 unless the committed manifest matches a fresh run",
+    )
+    args = parser.parse_args(argv)
+    if not args.root.is_dir():
+        print(f"error: no such directory: {args.root}", file=sys.stderr)
+        return 2
+    text = render_manifest(manifest_payload(args.root))
+    if args.write_manifest:
+        args.out.write_text(text, encoding="utf-8")
+        certified = json.loads(text)["certified"]
+        print(f"wrote {args.out} ({len(certified)} certified kernels)")
+        return 0
+    try:
+        committed = args.out.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        print(f"error: manifest {args.out} is missing", file=sys.stderr)
+        return 1
+    if committed != text:
+        print(
+            f"error: manifest {args.out} is stale — run "
+            "`python -m repro.devtools.compile_rules --write-manifest`",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"manifest {args.out} is current")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

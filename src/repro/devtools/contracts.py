@@ -119,6 +119,8 @@ class StaticContract:
     contiguous: tuple[str, ...]
     allow_alias: tuple[tuple[str, str], ...]
     fn: FunctionInfo
+    #: declared compile-candidate (``nopython=True``) — scopes SIM301+.
+    nopython: bool = False
 
     def param_names(self) -> list[str]:
         """Parameters the contract constrains (return keys excluded)."""
@@ -187,6 +189,7 @@ def contract_index(graph: ProjectGraph) -> dict[str, StaticContract]:
                         tuple(pair) for pair in (fields.get("allow_alias") or ())
                     ),
                     fn=fn,
+                    nopython=bool(fields.get("nopython", False)),
                 )
                 break
     changed = True

@@ -3,8 +3,9 @@
 Usage::
 
     repro lint [paths] [--select SIM001,SIM004] [--ignore SIM006] \\
-               [--profile kernels|concurrency|all] [--format text|json] \\
-               [--baseline FILE | --no-baseline] [--update-baseline] [--stats]
+               [--profile kernels,compile|all] [--format text|json] \\
+               [--baseline FILE | --no-baseline] [--update-baseline] \\
+               [--strict-baseline] [--stats] [--list-rules]
     python -m repro.devtools.lint src/repro tests
 
 Exit codes follow the classic contract: **0** clean, **1** findings,
@@ -13,9 +14,12 @@ Exit codes follow the classic contract: **0** clean, **1** findings,
 Selection defaults come from ``[tool.repro.lint]`` in ``pyproject.toml``
 (``select``/``ignore`` arrays, plus a ``baseline`` file path), so CI and
 developers run the same configuration with no flags.  ``--profile``
-names a curated rule set (``kernels`` = SIM201–SIM205, ``concurrency``
-= SIM206–SIM210, ``all`` = every registered rule across all three
-tiers).  A finding can be suppressed at a single line with the pragma::
+names one or more curated rule sets, comma-separated (``kernels`` =
+SIM201–SIM205, ``concurrency`` = SIM206–SIM210, ``compile`` =
+SIM301–SIM308, ``all`` = every registered rule across all four tiers);
+multiple profiles union.  ``--list-rules`` prints every registered rule
+with its tier.  A finding can be suppressed at a single line with the
+pragma::
 
     risky_line()  # repro: noqa SIM003
     other_line()  # repro: noqa SIM001, SIM005
@@ -31,7 +35,10 @@ Intentional findings that cannot be fixed (a documented workaround, a
 vendored idiom) live in a committed **baseline** file: findings matching
 a ``(path, rule, message)`` entry are reported as baselined and do not
 fail the run.  ``--update-baseline`` rewrites the file from the current
-findings; review its diff like any other code change.
+findings (pruning entries no finding matches any more); stale entries
+are warned about on every run and ``--strict-baseline`` turns that
+warning into a failure, so the baseline is a ratchet — it can only
+shrink as findings are fixed, never silently hide fixed ones.
 
 Suppressions are deliberate exemptions — each should be justifiable in
 review, which is exactly why they are spelled in full at the site.
@@ -53,6 +60,7 @@ from typing import Iterable, Sequence
 
 from . import contracts as _contracts  # noqa: F401  (registers SIM201+)
 from . import flow as _flow  # noqa: F401  (imported to register SIM101+)
+from .compile_rules import COMPILE_RULES, run_compile_rules
 from .contracts import CONTRACT_RULES, PROFILES, run_contract_rules
 from .findings import Finding, format_findings, sort_findings
 from .graph import PROJECT_RULES, ProjectGraph, run_project_rules
@@ -91,13 +99,22 @@ class LintError(Exception):
 # ---------------------------------------------------------------------------
 
 
-def _all_rule_ids() -> set[str]:
-    """Every known rule ID across the three tiers.
+#: tier label per registry, in rule-number order (``--list-rules``).
+_TIERS: tuple[tuple[str, dict], ...] = (
+    ("file", RULES),
+    ("flow", PROJECT_RULES),
+    ("contract", CONTRACT_RULES),
+    ("compile", COMPILE_RULES),
+)
 
-    Per-file (SIM00x), whole-program flow (SIM10x) and kernel-contract /
-    concurrency (SIM20x).
+
+def _all_rule_ids() -> set[str]:
+    """Every known rule ID across the four tiers.
+
+    Per-file (SIM00x), whole-program flow (SIM10x), kernel-contract /
+    concurrency (SIM20x) and compile-readiness (SIM30x).
     """
-    return set(RULES) | set(PROJECT_RULES) | set(CONTRACT_RULES)
+    return set().union(*(set(registry) for _, registry in _TIERS))
 
 
 def _validate_rules(ids: Iterable[str], origin: str) -> set[str]:
@@ -114,27 +131,47 @@ def _validate_rules(ids: Iterable[str], origin: str) -> set[str]:
     return out
 
 
+def _profile_names(profile: str | Iterable[str]) -> list[str]:
+    """Flatten a profile argument into individual names.
+
+    Accepts one name, a comma-separated string (``"kernels,compile"``)
+    or an iterable of either.
+    """
+    items = [profile] if isinstance(profile, str) else list(profile)
+    names: list[str] = []
+    for item in items:
+        names.extend(p.strip() for p in item.split(",") if p.strip())
+    return names
+
+
 def resolve_selection(
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
-    profile: str | None = None,
+    profile: str | Iterable[str] | None = None,
 ) -> set[str]:
     """Final rule-ID set.
 
-    A ``profile`` names the base set (``kernels``, ``concurrency``, or
-    ``all`` = every registered rule); without one the base is every rule.
-    ``select`` then *narrows* the base (intersection when a profile is
-    active, replacement otherwise — a bare ``--select`` is already an
-    exact request), and ``ignore`` always subtracts.
+    ``profile`` names the base set — one or more of ``kernels``,
+    ``concurrency``, ``compile`` and ``all`` (= every registered rule),
+    comma-separated or as an iterable; several profiles union.  Without
+    one the base is every rule.  ``select`` then *narrows* the base
+    (intersection when a profile is active, replacement otherwise — a
+    bare ``--select`` is already an exact request), and ``ignore``
+    always subtracts.
     """
     if profile is not None:
-        if profile == "all":
-            base = _all_rule_ids()
-        elif profile in PROFILES:
-            base = set(PROFILES[profile])
-        else:
-            known = ", ".join([*sorted(PROFILES), "all"])
-            raise LintError(f"unknown profile {profile!r} (known: {known})")
+        names = _profile_names(profile)
+        if not names:
+            raise LintError("empty --profile")
+        base: set[str] = set()
+        for name in names:
+            if name == "all":
+                base |= _all_rule_ids()
+            elif name in PROFILES:
+                base |= set(PROFILES[name])
+            else:
+                known = ", ".join([*sorted(PROFILES), "all"])
+                raise LintError(f"unknown profile {name!r} (known: {known})")
         if select:
             base &= _validate_rules(select, "--select")
         chosen = base
@@ -328,18 +365,22 @@ class LintStats:
 
 
 def _needs_graph(chosen: set[str]) -> bool:
-    return bool(chosen & (set(PROJECT_RULES) | set(CONTRACT_RULES)))
+    return bool(
+        chosen & (set(PROJECT_RULES) | set(CONTRACT_RULES) | set(COMPILE_RULES))
+    )
 
 
 def _run_graph_rules(
     graph: ProjectGraph, chosen: set[str], noqa: dict[str, _Noqa]
 ) -> list[Finding]:
-    """Both whole-program tiers (flow + contracts) over one shared graph."""
+    """The whole-program tiers (flow + contracts + compile) on one graph."""
     findings: list[Finding] = []
     if chosen & set(PROJECT_RULES):
         findings.extend(run_project_rules(graph, select=chosen))
     if chosen & set(CONTRACT_RULES):
         findings.extend(run_contract_rules(graph, select=chosen))
+    if chosen & set(COMPILE_RULES):
+        findings.extend(run_compile_rules(graph, select=chosen))
     return _apply_noqa(findings, noqa)
 
 
@@ -464,11 +505,14 @@ def load_baseline(path: Path) -> Counter[tuple[str, str, str]]:
 
 def apply_baseline(
     findings: Sequence[Finding], baseline: Counter[tuple[str, str, str]]
-) -> tuple[list[Finding], int]:
-    """Split findings into (fresh, count-baselined).
+) -> tuple[list[Finding], int, list[tuple[str, str, str]]]:
+    """Split findings into (fresh, count-baselined, stale entries).
 
     The baseline is a multiset: two identical findings need two entries,
-    so fixing one of a duplicated pair still surfaces in CI.
+    so fixing one of a duplicated pair still surfaces in CI.  *Stale*
+    entries — baseline lines no current finding matched — are returned
+    (with multiplicity) so the runner can warn, and ``--strict-baseline``
+    can fail, when the baseline hides findings that were already fixed.
     """
     remaining = Counter(baseline)
     fresh: list[Finding] = []
@@ -480,7 +524,10 @@ def apply_baseline(
             matched += 1
         else:
             fresh.append(finding)
-    return fresh, matched
+    stale = sorted(
+        key for key, count in remaining.items() for _ in range(count)
+    )
+    return fresh, matched, stale
 
 
 def write_baseline(findings: Sequence[Finding], path: Path) -> int:
@@ -500,6 +547,20 @@ def write_baseline(findings: Sequence[Finding], path: Path) -> int:
 
 def _split_ids(value: str) -> list[str]:
     return [part for part in re.split(r"[,\s]+", value) if part]
+
+
+def _profile_arg(value: str) -> list[str]:
+    """Validating argparse type for ``--profile`` (comma-separated names)."""
+    names = _profile_names(value)
+    known = ", ".join([*sorted(PROFILES), "all"])
+    if not names:
+        raise argparse.ArgumentTypeError(f"empty profile (known: {known})")
+    for name in names:
+        if name != "all" and name not in PROFILES:
+            raise argparse.ArgumentTypeError(
+                f"unknown profile {name!r} (known: {known})"
+            )
+    return names
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -526,10 +587,12 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--profile",
-        choices=(*sorted(PROFILES), "all"),
+        type=_profile_arg,
         default=None,
-        help="named rule set: kernels (SIM201-205), concurrency "
-        "(SIM206-210), or all registered rules",
+        metavar="NAMES",
+        help="named rule sets, comma-separated: kernels (SIM201-205), "
+        "concurrency (SIM206-210), compile (SIM301-308), or all "
+        "registered rules; several profiles union",
     )
     parser.add_argument(
         "--format",
@@ -555,7 +618,14 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--update-baseline",
         action="store_true",
-        help="rewrite the baseline from the current findings and exit 0",
+        help="rewrite the baseline from the current findings (pruning "
+        "stale entries) and exit 0",
+    )
+    parser.add_argument(
+        "--strict-baseline",
+        action="store_true",
+        help="fail (exit 1) when the baseline contains stale entries no "
+        "current finding matches — the CI ratchet",
     )
     parser.add_argument(
         "--stats",
@@ -565,7 +635,7 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--list-rules",
         action="store_true",
-        help="print every rule ID with its summary and exit",
+        help="print every rule ID with its tier and summary, then exit",
     )
 
 
@@ -596,13 +666,14 @@ def _baseline_path(args: argparse.Namespace, config: dict) -> Path | None:
 def run_from_args(args: argparse.Namespace) -> int:
     """Execute a parsed lint invocation; returns the process exit code."""
     if args.list_rules:
-        combined: dict[str, str] = {
-            **{rid: cls.summary for rid, cls in RULES.items()},
-            **{rid: cls.summary for rid, cls in PROJECT_RULES.items()},
-            **{rid: cls.summary for rid, cls in CONTRACT_RULES.items()},
+        combined: dict[str, tuple[str, str]] = {
+            rid: (tier, cls.summary)
+            for tier, registry in _TIERS
+            for rid, cls in registry.items()
         }
         for rule_id in sorted(combined):
-            print(f"{rule_id}  {combined[rule_id]}")
+            tier, summary = combined[rule_id]
+            print(f"{rule_id}  {tier:<8}  {summary}")
         return 0
     config = load_config(Path(args.paths[0]).resolve() if args.paths else None)
     # CLI selection flags replace the pyproject defaults wholesale — mixing
@@ -632,13 +703,25 @@ def run_from_args(args: argparse.Namespace) -> int:
             print(f"wrote {count} baseline entries to {baseline_file}")
             return 0
         baselined = 0
+        stale: list[tuple[str, str, str]] = []
         if baseline_file is not None:
-            findings, baselined = apply_baseline(
+            findings, baselined, stale = apply_baseline(
                 findings, load_baseline(baseline_file)
             )
     except LintError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if stale:
+        for path, rule, message in stale:
+            print(
+                f"stale baseline entry: {path}: {rule} {message}",
+                file=sys.stderr,
+            )
+        print(
+            f"warning: {len(stale)} stale baseline entries no finding "
+            "matches — run --update-baseline to prune them",
+            file=sys.stderr,
+        )
     if stats is not None:
         stats.findings = len(findings)
         stats.baselined = baselined
@@ -648,7 +731,9 @@ def run_from_args(args: argparse.Namespace) -> int:
     except BrokenPipeError:
         # the reader (e.g. `| head`) went away; the exit code still stands.
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
-    return 1 if findings else 0
+    if findings:
+        return 1
+    return 1 if (stale and args.strict_baseline) else 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -94,6 +94,8 @@ class KernelContract:
     writes: tuple[str, ...] = ()
     contiguous: tuple[str, ...] = ()
     allow_alias: tuple[tuple[str, str], ...] = ()
+    #: the kernel claims nopython compilability (checked by SIM301–SIM308).
+    nopython: bool = False
 
     def dtype_names(self, name: str) -> tuple[str, ...]:
         """Admissible dtype names for parameter (or return key) ``name``."""
@@ -278,12 +280,21 @@ def kernel_contract(
     writes: tuple[str, ...] = (),
     contiguous: tuple[str, ...] = (),
     allow_alias: tuple[tuple[str, str], ...] = (),
+    nopython: bool = False,
 ) -> Callable[[_F], _F]:
     """Declare a kernel's array contract (see the module docstring).
 
     The declaration must be spelled with literal dicts/tuples — the
     static checker reads it from the AST, and a computed declaration
     would be invisible to it.
+
+    ``nopython=True`` marks a compile-candidate kernel: its body must
+    pass the compile-readiness rules SIM301–SIM308 before the compiled
+    tier may register it (see :mod:`repro.devtools.compile_rules`).  The
+    function is returned *unwrapped* — ``numba.njit`` cannot see through
+    the validating closure, so runtime validation for these kernels
+    happens at the pure-python façade that dispatches to them (the
+    :mod:`repro.sim.fast` entry points), never inside the compiled body.
     """
     contract = KernelContract(
         shapes=dict(shapes or {}),
@@ -291,9 +302,13 @@ def kernel_contract(
         writes=tuple(writes),
         contiguous=tuple(contiguous),
         allow_alias=tuple(allow_alias),
+        nopython=nopython,
     )
 
     def decorate(fn: _F) -> _F:
+        if nopython:
+            fn.__kernel_contract__ = contract  # type: ignore[attr-defined]
+            return fn
         signature = inspect.signature(fn)
         label = fn.__qualname__
 

@@ -1,22 +1,38 @@
-"""The contract-carrying kernel tier: the surface a compiled backend ports.
+"""The contract-carrying kernel tier: the surface the compiled backend ports.
 
 Every function re-exported here carries a machine-verified
 :class:`~repro.sim.contract.KernelContract` — dtype, shape, aliasing,
 contiguity and write-set declarations that the static checker
 (``repro lint --profile kernels``, rules SIM201–SIM205) verifies at
 every call site and that the runtime validator enforces under
-``REPRO_SIM_STRICT=1``.  When the ROADMAP's compiled (Numba/Cython)
-tier lands, this module is its porting checklist: a compiled kernel
-may assume exactly what the contract declares, nothing more.
+``REPRO_SIM_STRICT=1``.
+
+The compiled tier exists now: :mod:`repro.sim.compiled` holds
+``numba.njit`` ports of the sequential recursions, certified for
+nopython compilation by the compile-readiness rules
+(``repro lint --profile compile``, SIM301–SIM308) through the committed
+``compiled_manifest.json``.  A compiled kernel assumes exactly what its
+contract declares, nothing more — which is why dispatch happens *after*
+the python façade's validation.  Tier selection is re-exported here:
+``REPRO_KERNEL_TIER=python|compiled|auto`` or the
+:func:`kernel_tier` / :func:`set_kernel_tier` overrides.
 
 Import kernels from here when you care about the contract surface::
 
     from repro.sim.kernel import fcfs_waits, lwl_waits
 
-The implementations live in :mod:`repro.sim.fast`; this module adds no
-behaviour, only the stable, contract-audited namespace.
+The python implementations live in :mod:`repro.sim.fast`; this module
+adds no behaviour, only the stable, contract-audited namespace.
 """
 
+from .compiled import (
+    NUMBA_VERSION,
+    active_tier,
+    compiled_available,
+    kernel_tier,
+    requested_tier,
+    set_kernel_tier,
+)
 from .contract import (
     ContractViolation,
     KernelContract,
@@ -40,18 +56,24 @@ from .fast import (
 )
 
 __all__ = [
+    "NUMBA_VERSION",
     "SCAN_METRICS",
     "ContractViolation",
     "KernelContract",
     "SitaScanKernel",
     "SitaScanResult",
+    "active_tier",
+    "compiled_available",
     "contract_of",
     "contract_validation",
     "estimated_lwl_waits",
     "fcfs_waits",
     "kernel_contract",
+    "kernel_tier",
     "lwl_waits",
+    "requested_tier",
     "set_contract_validation",
+    "set_kernel_tier",
     "shortest_queue_waits",
     "simulate_fast",
     "sita_scan",

@@ -1,0 +1,413 @@
+"""Positive + negative fixtures for the compile-readiness tier SIM301–SIM308.
+
+Mirrors ``test_contract_rules.py``: every rule registered in
+``COMPILE_RULES`` must have a fixture pair, and the completeness test
+fails when a new rule lands without one.
+
+Two extra obligations are unique to this tier:
+
+* **differential certification** — when numba is installed, every
+  fixture is fed to the real compiler: positives of ``compile_breaking``
+  rules must genuinely fail ``njit``, every other fixture must compile.
+  The static verdict and the compiler must agree, fixture by fixture.
+* **manifest freshness** — the committed
+  ``src/repro/sim/compiled_manifest.json`` must match a fresh
+  certification pass over the real source tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.devtools import (
+    COMPILE_RULES,
+    CONTRACT_RULES,
+    PROFILES,
+    ProjectGraph,
+    certification,
+    certified_kernels,
+    lint_source,
+)
+from repro.devtools.compile_rules import build_graph, manifest_payload
+
+try:
+    import numba
+except ImportError:
+    numba = None
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SIM_PATH = "src/repro/sim/fixture.py"
+
+PRELUDE = (
+    "from repro.sim.contract import kernel_contract\n"
+    "import numpy as np\n"
+)
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+# ---------------------------------------------------------------------------
+# fixtures: {rule: (positive_src, negative_src)}
+#
+# Every fixture defines a nopython kernel named ``kern`` that accepts one
+# float64 1-D array, so the differential test can exec + njit + call each
+# one uniformly.
+# ---------------------------------------------------------------------------
+
+FIXTURES = {
+    "SIM301": (
+        # positive: **kwargs forces object mode — njit cannot type it
+        PRELUDE
+        + """\
+@kernel_contract(nopython=True, dtypes={"xs": "float64"})
+def kern(xs, **kwargs):
+    total = 0.0
+    for i in range(xs.size):
+        total += xs[i]
+    return total
+""",
+        # negative: the same reduction with a plain signature
+        PRELUDE
+        + """\
+@kernel_contract(nopython=True, dtypes={"xs": "float64"})
+def kern(xs):
+    total = 0.0
+    for i in range(xs.size):
+        total += xs[i]
+    return total
+""",
+    ),
+    "SIM302": (
+        # positive: the float64-contracted input rebound to float32
+        PRELUDE
+        + """\
+@kernel_contract(nopython=True, dtypes={"xs": "float64"})
+def kern(xs):
+    xs = xs.astype(np.float32)
+    total = 0.0
+    for i in range(xs.size):
+        total += xs[i]
+    return total
+""",
+        # negative: the narrowed copy gets its own (undeclared) name
+        PRELUDE
+        + """\
+@kernel_contract(nopython=True, dtypes={"xs": "float64"})
+def kern(xs):
+    ys = xs.astype(np.float64)
+    total = 0.0
+    for i in range(ys.size):
+        total += ys[i]
+    return total
+""",
+    ),
+    "SIM303": (
+        # positive: numba's np.cumsum overload rejects out=
+        PRELUDE
+        + """\
+@kernel_contract(nopython=True, dtypes={"xs": "float64"})
+def kern(xs):
+    out = np.empty(xs.size, dtype=np.float64)
+    np.cumsum(xs, out=out)
+    return out
+""",
+        # negative: the allocating form numba supports
+        PRELUDE
+        + """\
+@kernel_contract(nopython=True, dtypes={"xs": "float64"})
+def kern(xs):
+    return np.cumsum(xs)
+""",
+    ),
+    "SIM304": (
+        # positive: a fresh buffer allocated every iteration
+        PRELUDE
+        + """\
+@kernel_contract(nopython=True, dtypes={"xs": "float64"})
+def kern(xs):
+    total = 0.0
+    for i in range(xs.size):
+        buf = np.zeros(4)
+        buf[0] = xs[i]
+        total += buf[0]
+    return total
+""",
+        # negative: the buffer hoisted out of the loop
+        PRELUDE
+        + """\
+@kernel_contract(nopython=True, dtypes={"xs": "float64"})
+def kern(xs):
+    total = 0.0
+    buf = np.zeros(4)
+    for i in range(xs.size):
+        buf[0] = xs[i]
+        total += buf[0]
+    return total
+""",
+    ),
+    "SIM305": (
+        # positive: a mutable module global captured by the kernel
+        PRELUDE
+        + """\
+STATE = []
+
+@kernel_contract(nopython=True, dtypes={"xs": "float64"})
+def kern(xs):
+    STATE.append(xs[0])
+    return xs[0]
+""",
+        # negative: kernel-local NumPy state only
+        PRELUDE
+        + """\
+@kernel_contract(nopython=True, dtypes={"xs": "float64"})
+def kern(xs):
+    ws = np.empty(2, dtype=np.float64)
+    ws[0] = 0.5
+    ws[1] = 0.5
+    return xs[0] * ws[0] + xs[1] * ws[1]
+""",
+    ),
+    "SIM306": (
+        # positive: calls a plain (uncertified) helper
+        PRELUDE
+        + """\
+def scale(x):
+    return x * 2.0
+
+@kernel_contract(nopython=True, dtypes={"xs": "float64"})
+def kern(xs):
+    total = 0.0
+    for i in range(xs.size):
+        total += scale(xs[i])
+    return total
+""",
+        # negative: the helper is itself a certified nopython kernel
+        PRELUDE
+        + """\
+@kernel_contract(nopython=True, dtypes={"x": "float64"})
+def scale(x):
+    return x * 2.0
+
+@kernel_contract(nopython=True, dtypes={"xs": "float64"})
+def kern(xs):
+    total = 0.0
+    for i in range(xs.size):
+        total += scale(xs[i])
+    return total
+""",
+    ),
+    "SIM307": (
+        # positive: one branch returns int64 against a float64 contract
+        PRELUDE
+        + """\
+@kernel_contract(
+    nopython=True,
+    dtypes={"xs": "float64", "return": "float64"},
+    shapes={"xs": ("n",), "return": ("n",)},
+)
+def kern(xs):
+    if xs[0] > 0.0:
+        return np.zeros(xs.size, dtype=np.int64)
+    return np.zeros(xs.size)
+""",
+        # negative: every branch returns the declared float64 lane
+        PRELUDE
+        + """\
+@kernel_contract(
+    nopython=True,
+    dtypes={"xs": "float64", "return": "float64"},
+    shapes={"xs": ("n",), "return": ("n",)},
+)
+def kern(xs):
+    if xs[0] > 0.0:
+        return np.ones(xs.size)
+    return np.zeros(xs.size)
+""",
+    ),
+    "SIM308": (
+        # positive: 2**63 overflows the int64 lane (numba silently
+        # retypes it, so this compiles — and misbehaves)
+        PRELUDE
+        + """\
+@kernel_contract(nopython=True, dtypes={"xs": "float64"})
+def kern(xs):
+    big = 2 ** 63
+    total = 0.0
+    for i in range(xs.size):
+        total += xs[i] + big
+    return total
+""",
+        # negative: the same constant inside the int64 range
+        PRELUDE
+        + """\
+@kernel_contract(nopython=True, dtypes={"xs": "float64"})
+def kern(xs):
+    big = 2 ** 62
+    total = 0.0
+    for i in range(xs.size):
+        total += xs[i] + big
+    return total
+""",
+    ),
+}
+
+
+def test_every_registered_compile_rule_has_fixtures():
+    assert set(FIXTURES) == set(COMPILE_RULES)
+
+
+def test_compile_profile_covers_the_tier():
+    assert PROFILES["compile"] == set(COMPILE_RULES)
+    assert not PROFILES["compile"] & set(CONTRACT_RULES)
+
+
+@pytest.mark.parametrize("rule", sorted(FIXTURES))
+def test_positive_fixture_triggers(rule):
+    pos_src, _ = FIXTURES[rule]
+    findings = lint_source(pos_src, path=SIM_PATH, select=[rule])
+    assert rules_of(findings) == {rule}, findings
+
+
+@pytest.mark.parametrize("rule", sorted(FIXTURES))
+def test_negative_fixture_is_clean(rule):
+    _, neg_src = FIXTURES[rule]
+    findings = lint_source(neg_src, path=SIM_PATH, select=[rule])
+    assert findings == [], findings
+
+
+@pytest.mark.parametrize("rule", sorted(FIXTURES))
+def test_noqa_suppresses_compile_finding(rule):
+    pos_src, _ = FIXTURES[rule]
+    findings = lint_source(pos_src, path=SIM_PATH, select=[rule])
+    lines = pos_src.splitlines()
+    for f in findings:
+        lines[f.line - 1] += f"  # repro: noqa {rule}"
+    suppressed = lint_source("\n".join(lines), path=SIM_PATH, select=[rule])
+    assert suppressed == []
+
+
+def test_rules_ignore_python_tier_kernels():
+    """A contract without nopython=True is out of scope for every rule."""
+    src = PRELUDE + (
+        '@kernel_contract(dtypes={"xs": "float64"})\n'
+        "def kern(xs, **kwargs):\n"
+        "    state = []\n"
+        "    state.append({'a': 1})\n"
+        "    return xs\n"
+    )
+    findings = lint_source(src, path=SIM_PATH, select=sorted(COMPILE_RULES))
+    assert findings == []
+
+
+def test_sim305_allows_array_literal_payload():
+    """``np.array([...])`` consumes its list literal — not a reflection."""
+    src = PRELUDE + (
+        '@kernel_contract(nopython=True, dtypes={"xs": "float64"})\n'
+        "def kern(xs):\n"
+        "    ws = np.array([0.5, 0.5])\n"
+        "    return xs[0] * ws[0]\n"
+    )
+    assert lint_source(src, path=SIM_PATH, select=["SIM305"]) == []
+
+
+# ---------------------------------------------------------------------------
+# SIM306 fixpoint: decertifying a helper decertifies its dependency cone
+# ---------------------------------------------------------------------------
+
+
+def test_closure_decertification_cascades():
+    src = PRELUDE + (
+        "def plain(x):\n"
+        "    return x * 2.0\n"
+        "\n"
+        "@kernel_contract(nopython=True)\n"
+        "def inner(x):\n"
+        "    return plain(x)\n"
+        "\n"
+        "@kernel_contract(nopython=True)\n"
+        "def outer(x):\n"
+        "    return inner(x)\n"
+        "\n"
+        "@kernel_contract(nopython=True)\n"
+        "def clean(x):\n"
+        "    return x + 1.0\n"
+    )
+    graph = ProjectGraph.build([(SIM_PATH, ast.parse(src))])
+    verdicts = certification(graph)
+    assert not verdicts["repro.sim.fixture.inner"].certified
+    assert not verdicts["repro.sim.fixture.outer"].certified
+    assert verdicts["repro.sim.fixture.clean"].certified
+    outer_rules = rules_of(verdicts["repro.sim.fixture.outer"].findings)
+    assert outer_rules == {"SIM306"}
+    assert certified_kernels(graph) == ["repro.sim.fixture.clean"]
+
+
+# ---------------------------------------------------------------------------
+# the real tree: every shipped compiled kernel certifies, manifest is fresh
+# ---------------------------------------------------------------------------
+
+
+def test_shipped_compiled_kernels_certify():
+    graph = build_graph(REPO_ROOT / "src" / "repro")
+    certified = certified_kernels(graph)
+    for name in (
+        "repro.sim.compiled.estimated_lwl_waits",
+        "repro.sim.compiled.lwl_waits",
+        "repro.sim.compiled.shortest_queue_waits",
+        "repro.sim.compiled.sita_scan",
+    ):
+        assert name in certified, certified
+
+
+def test_committed_manifest_is_fresh():
+    payload = manifest_payload(REPO_ROOT / "src" / "repro")
+    manifest_path = (
+        REPO_ROOT / "src" / "repro" / "sim" / "compiled_manifest.json"
+    )
+    committed = json.loads(manifest_path.read_text(encoding="utf-8"))
+    assert committed == payload
+    assert committed["rules"] == sorted(COMPILE_RULES)
+
+
+# ---------------------------------------------------------------------------
+# differential certification: static verdict ≡ the real compiler
+# ---------------------------------------------------------------------------
+
+
+def _njit_compiles(src: str) -> bool:
+    """Exec a fixture, njit every nopython kernel in it, call ``kern``."""
+    ns: dict = {}
+    exec(compile(src, "<fixture>", "exec"), ns)
+    contracted = [
+        (name, obj)
+        for name, obj in list(ns.items())
+        if callable(obj)
+        and getattr(getattr(obj, "__kernel_contract__", None), "nopython", False)
+    ]
+    try:
+        for name, obj in contracted:
+            ns[name] = numba.njit(obj)
+        ns["kern"](np.arange(4, dtype=np.float64))
+    except Exception:
+        return False
+    return True
+
+
+@pytest.mark.skipif(numba is None, reason="numba not installed")
+@pytest.mark.parametrize("rule", sorted(FIXTURES))
+def test_static_verdict_matches_njit(rule):
+    pos_src, neg_src = FIXTURES[rule]
+    breaking = COMPILE_RULES[rule].compile_breaking
+    # a compile-breaking positive must genuinely fail the compiler; a
+    # non-breaking positive compiles (and misbehaves — that is the point
+    # of flagging it statically).
+    assert _njit_compiles(pos_src) == (not breaking)
+    # every negative fixture must be compilable as claimed.
+    assert _njit_compiles(neg_src)

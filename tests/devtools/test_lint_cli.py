@@ -311,3 +311,135 @@ def test_unknown_profile_is_a_usage_error(contract_tree, capsys):
 
     with pytest.raises(LintError):
         resolve_selection(profile="nope")
+
+
+# ---------------------------------------------------------------------------
+# the compile tier's CLI surface: comma profiles, tiers, baseline ratchet
+# ---------------------------------------------------------------------------
+
+NOPYTHON_DIRTY = """\
+from repro.sim.contract import kernel_contract
+
+@kernel_contract(nopython=True, dtypes={"xs": "float64"})
+def kern(xs, **kwargs):
+    return xs[0]
+"""
+
+
+@pytest.fixture
+def combined_tree(tmp_path: Path) -> Path:
+    """One contract-tier finding (SIM201) plus one compile-tier (SIM301)."""
+    pkg = tmp_path / "src" / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    (pkg / "kern.py").write_text(CONTRACTED)
+    (pkg / "nopy.py").write_text(NOPYTHON_DIRTY)
+    return tmp_path
+
+
+def test_profile_compile_runs_compile_rules(combined_tree, capsys):
+    target = combined_tree / "src" / "repro" / "sim" / "nopy.py"
+    assert lint_main([str(target), "--profile", "compile", "--no-baseline"]) == 1
+    assert "SIM301" in capsys.readouterr().out
+
+
+def test_profile_compile_skips_other_tiers(combined_tree, capsys):
+    target = combined_tree / "src" / "repro" / "sim" / "kern.py"
+    assert lint_main([str(target), "--profile", "compile", "--no-baseline"]) == 0
+    assert "all clean" in capsys.readouterr().out
+
+
+def test_comma_separated_profiles_union(combined_tree, capsys):
+    assert (
+        lint_main(
+            [
+                str(combined_tree / "src"),
+                "--profile",
+                "kernels,compile",
+                "--no-baseline",
+            ]
+        )
+        == 1
+    )
+    out = capsys.readouterr().out
+    assert "SIM201" in out and "SIM301" in out
+
+
+def test_comma_profile_rejects_unknown_names(combined_tree):
+    from repro.devtools.lint import LintError, build_parser, resolve_selection
+
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--profile", "kernels,nope"])
+    with pytest.raises(LintError):
+        resolve_selection(profile=["kernels", "nope"])
+
+
+def test_list_rules_shows_every_tier(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id, tier in (
+        ("SIM001", "file"),
+        ("SIM101", "flow"),
+        ("SIM201", "contract"),
+        ("SIM301", "compile"),
+    ):
+        line = next(ln for ln in out.splitlines() if ln.startswith(rule_id))
+        assert tier in line
+
+
+def test_stale_baseline_warns_then_strict_fails_then_prunes(
+    contract_tree, capsys
+):
+    target = contract_tree / "src" / "repro" / "sim" / "kern.py"
+    baseline = contract_tree / "baseline.json"
+    lint_main(
+        [
+            str(target),
+            "--profile",
+            "kernels",
+            "--baseline",
+            str(baseline),
+            "--update-baseline",
+        ]
+    )
+    capsys.readouterr()
+    # fix the finding at its source: the caller now passes float64
+    target.write_text(CONTRACTED.replace(", dtype=np.int32", ""))
+    # default: still exit 0, but the dead entry is called out on stderr
+    assert (
+        lint_main(
+            [str(target), "--profile", "kernels", "--baseline", str(baseline)]
+        )
+        == 0
+    )
+    captured = capsys.readouterr()
+    assert "stale baseline" in captured.err
+    # the ratchet: --strict-baseline turns dead entries into a failure
+    assert (
+        lint_main(
+            [
+                str(target),
+                "--profile",
+                "kernels",
+                "--baseline",
+                str(baseline),
+                "--strict-baseline",
+            ]
+        )
+        == 1
+    )
+    capsys.readouterr()
+    # --update-baseline prunes the dead entry away
+    assert (
+        lint_main(
+            [
+                str(target),
+                "--profile",
+                "kernels",
+                "--baseline",
+                str(baseline),
+                "--update-baseline",
+            ]
+        )
+        == 0
+    )
+    assert json.loads(baseline.read_text()) == []

@@ -1,0 +1,263 @@
+"""The certified compiled kernel tier: selection, fallback, bit-identity.
+
+The nopython kernel bodies in :mod:`repro.sim.compiled` are plain Python
+functions (``kernel_contract(nopython=True)`` returns them unwrapped),
+so their claim — operation-for-operation equivalence with the
+:mod:`repro.sim.fast` kernels — is testable **without numba**: hypothesis
+drives degenerate traces (simultaneous arrivals, tied sizes, zero jobs,
+one host) through both implementations and demands ``np.array_equal``,
+hosts included.  When numba is installed the same equivalence is
+asserted against the actual njit dispatchers via the audit tier check.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import compiled, fast
+from repro.sim.compiled import (
+    MANIFEST_PATH,
+    active_tier,
+    compiled_available,
+    dispatch,
+    kernel_tier,
+    requested_tier,
+    set_kernel_tier,
+)
+
+HAS_COMPILED = compiled_available()
+
+
+# ---------------------------------------------------------------------------
+# tier selection and fallback
+# ---------------------------------------------------------------------------
+
+
+def test_default_tier_is_auto(monkeypatch):
+    monkeypatch.delenv("REPRO_KERNEL_TIER", raising=False)
+    assert requested_tier() == "auto"
+    assert active_tier() == ("compiled" if HAS_COMPILED else "python")
+
+
+def test_env_var_selects_the_tier(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL_TIER", "python")
+    assert requested_tier() == "python"
+    assert active_tier() == "python"
+    assert dispatch("lwl_waits") is None
+
+
+def test_invalid_env_tier_is_an_error(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL_TIER", "turbo")
+    with pytest.raises(ValueError, match="turbo"):
+        requested_tier()
+
+
+def test_override_beats_the_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL_TIER", "python")
+    previous = set_kernel_tier("auto")
+    try:
+        assert requested_tier() == "auto"
+    finally:
+        set_kernel_tier(previous)
+
+
+def test_kernel_tier_context_restores_previous():
+    with kernel_tier("python"):
+        assert requested_tier() == "python"
+        with kernel_tier("auto"):
+            assert requested_tier() == "auto"
+        assert requested_tier() == "python"
+
+
+def test_set_kernel_tier_rejects_unknown_names():
+    with pytest.raises(ValueError):
+        set_kernel_tier("fastest")
+
+
+@pytest.mark.skipif(HAS_COMPILED, reason="compiled tier is available here")
+def test_explicit_compiled_without_numba_raises():
+    with kernel_tier("compiled"):
+        with pytest.raises(RuntimeError, match="unavailable"):
+            active_tier()
+
+
+@pytest.mark.skipif(HAS_COMPILED, reason="compiled tier is available here")
+def test_python_fallback_dispatches_nothing():
+    for name in compiled._KERNEL_IMPLS:
+        assert dispatch(name) is None
+
+
+@pytest.mark.skipif(not HAS_COMPILED, reason="needs numba")
+def test_compiled_tier_dispatches_every_certified_kernel():
+    with kernel_tier("compiled"):
+        for name in compiled._KERNEL_IMPLS:
+            assert dispatch(name) is not None
+
+
+# ---------------------------------------------------------------------------
+# manifest
+# ---------------------------------------------------------------------------
+
+
+def test_manifest_names_the_shipped_kernels():
+    doc = json.loads(Path(MANIFEST_PATH).read_text(encoding="utf-8"))
+    assert doc["schema_version"] == 1
+    assert doc["rules"] == [f"SIM30{i}" for i in range(1, 9)]
+    certified = set(doc["certified"])
+    assert {
+        f"repro.sim.compiled.{name}" for name in compiled._KERNEL_IMPLS
+    } <= certified
+
+
+# ---------------------------------------------------------------------------
+# bit-identity of the ported bodies (python-executed — no numba needed)
+# ---------------------------------------------------------------------------
+
+# Coarse grids on purpose: collisions (simultaneous arrivals, tied
+# sizes, repeatedly idle hosts) are exactly where tie-breaking could
+# diverge between the heap/argmin ports and the originals.
+_GAPS = st.lists(
+    st.sampled_from([0.0, 0.25, 1.0, 3.0]), min_size=0, max_size=50
+)
+_SIZE = st.sampled_from([0.5, 1.0, 1.0, 2.5, 7.0])
+_HOSTS = st.integers(min_value=1, max_value=5)
+
+
+def _trace_arrays(gaps, draw_sizes):
+    t = np.cumsum(np.asarray(gaps, dtype=np.float64))
+    s = np.asarray(draw_sizes(len(gaps)), dtype=np.float64)
+    return t, s
+
+
+def _assert_pair_equal(python_pair, ported_pair):
+    pw, ph = python_pair
+    cw, ch = ported_pair
+    assert cw.dtype == np.float64 and ch.dtype == np.int64
+    assert np.array_equal(pw, cw)
+    assert np.array_equal(ph, ch)
+
+
+@given(gaps=_GAPS, data=st.data(), n_hosts=_HOSTS)
+@settings(max_examples=80, deadline=None)
+def test_lwl_uniform_port_is_bit_identical(gaps, data, n_hosts):
+    t, s = _trace_arrays(
+        gaps, lambda n: data.draw(st.lists(_SIZE, min_size=n, max_size=n))
+    )
+    with kernel_tier("python"):
+        reference = fast.lwl_waits(t, s, n_hosts)
+    ported = compiled.lwl_waits(t, s, n_hosts, np.ones(n_hosts))
+    _assert_pair_equal(reference, ported)
+
+
+@given(gaps=_GAPS, data=st.data(), n_hosts=_HOSTS)
+@settings(max_examples=80, deadline=None)
+def test_lwl_heterogeneous_port_is_bit_identical(gaps, data, n_hosts):
+    t, s = _trace_arrays(
+        gaps, lambda n: data.draw(st.lists(_SIZE, min_size=n, max_size=n))
+    )
+    speeds = np.asarray(
+        data.draw(
+            st.lists(
+                st.sampled_from([0.5, 1.0, 2.0]),
+                min_size=n_hosts,
+                max_size=n_hosts,
+            )
+        ),
+        dtype=np.float64,
+    )
+    # force at least one non-unit speed so both sides take the
+    # heterogeneous branch
+    speeds[0] = 2.0
+    with kernel_tier("python"):
+        reference = fast.lwl_waits(t, s, n_hosts, host_speeds=speeds)
+    ported = compiled.lwl_waits(t, s, n_hosts, speeds)
+    _assert_pair_equal(reference, ported)
+
+
+@given(gaps=_GAPS, data=st.data(), n_hosts=_HOSTS)
+@settings(max_examples=80, deadline=None)
+def test_shortest_queue_port_is_bit_identical(gaps, data, n_hosts):
+    t, s = _trace_arrays(
+        gaps, lambda n: data.draw(st.lists(_SIZE, min_size=n, max_size=n))
+    )
+    with kernel_tier("python"):
+        reference = fast.shortest_queue_waits(t, s, n_hosts)
+    ported = compiled.shortest_queue_waits(t, s, n_hosts, np.ones(n_hosts))
+    _assert_pair_equal(reference, ported)
+
+
+@given(gaps=_GAPS, data=st.data(), n_hosts=_HOSTS)
+@settings(max_examples=80, deadline=None)
+def test_estimated_lwl_port_is_bit_identical(gaps, data, n_hosts):
+    t, s = _trace_arrays(
+        gaps, lambda n: data.draw(st.lists(_SIZE, min_size=n, max_size=n))
+    )
+    est = np.asarray(
+        data.draw(st.lists(_SIZE, min_size=len(gaps), max_size=len(gaps))),
+        dtype=np.float64,
+    )
+    with kernel_tier("python"):
+        reference = fast.estimated_lwl_waits(t, s, est, n_hosts)
+    ported = compiled.estimated_lwl_waits(t, s, est, n_hosts)
+    _assert_pair_equal(reference, ported)
+
+
+@given(gaps=_GAPS, data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_sita_scan_port_matches_fcfs_waits(gaps, data):
+    t, s = _trace_arrays(
+        gaps, lambda n: data.draw(st.lists(_SIZE, min_size=n, max_size=n))
+    )
+    with kernel_tier("python"):
+        reference = fast.fcfs_waits(t, s)
+    out = np.empty(t.size, dtype=np.float64)
+    ported = compiled.sita_scan(t, s, out)
+    assert np.array_equal(reference, ported)
+
+
+def test_ports_handle_the_empty_trace():
+    empty = np.empty(0, dtype=np.float64)
+    w, h = compiled.lwl_waits(empty, empty, 3, np.ones(3))
+    assert w.size == 0 and h.size == 0
+    w, h = compiled.shortest_queue_waits(empty, empty, 3, np.ones(3))
+    assert w.size == 0 and h.size == 0
+    w, h = compiled.estimated_lwl_waits(empty, empty, empty, 3)
+    assert w.size == 0 and h.size == 0
+    out = np.empty(0, dtype=np.float64)
+    assert compiled.sita_scan(empty, empty, out).size == 0
+
+
+# ---------------------------------------------------------------------------
+# end-to-end with the real compiler (skipped without numba)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.skipif(not HAS_COMPILED, reason="needs numba")
+def test_njit_tier_is_bit_identical_end_to_end():
+    from repro.devtools.audit import cross_check_tiers
+
+    report = cross_check_tiers(seed=20000731, n_jobs=800)
+    assert report.available
+    assert report.ok, report.render()
+
+
+@pytest.mark.skipif(not HAS_COMPILED, reason="needs numba")
+def test_simulate_fast_agrees_across_tiers():
+    from repro.core.policies import LeastWorkLeftPolicy
+    from repro.workloads.catalog import get_workload
+
+    trace = get_workload("c90").make_trace(
+        load=0.7, n_hosts=4, n_jobs=600, rng=7
+    )
+    with kernel_tier("python"):
+        py = fast.simulate_fast(trace, LeastWorkLeftPolicy(), 4, rng=7)
+    with kernel_tier("compiled"):
+        co = fast.simulate_fast(trace, LeastWorkLeftPolicy(), 4, rng=7)
+    assert np.array_equal(py.wait_times, co.wait_times)
+    assert np.array_equal(py.host_assignments, co.host_assignments)

@@ -126,3 +126,24 @@ class TestCli:
         assert doc["schema_version"] == SCHEMA_VERSION
         assert doc["entries"]
         assert str(out) in capsys.readouterr().out
+
+
+def test_kernel_entries_carry_a_tier(quick_doc):
+    kernel_entries = [
+        e for e in quick_doc["entries"] if e["name"].startswith("kernel.")
+    ]
+    assert kernel_entries
+    for e in kernel_entries:
+        assert e["tier"] in ("python", "compiled")
+    # the python rows are always present (forced kernel_tier("python"))
+    assert {e["name"] for e in kernel_entries if e["tier"] == "python"} == {
+        "kernel.fcfs_waits",
+        "kernel.lwl_waits",
+        "kernel.shortest_queue_waits",
+        "kernel.tags_waits",
+    }
+    for e in kernel_entries:
+        if e["tier"] == "compiled":
+            assert e["speedup_vs_python"] > 0
+    # schema 2 records the numba version (None without the compiled tier)
+    assert "numba" in quick_doc["environment"]
