@@ -33,7 +33,10 @@ Schema (``schema_version`` 2)::
         {"name": "search.analytic_sweep", "wall_s": …,
          "speedup_vs_unshared": …},
         {"name": "experiment.fig2.parallel", "wall_s": …,
-         "speedup_vs_serial": …}, …
+         "speedup_vs_serial": …},
+        {"name": "serve.dispatch", "wall_s": …, "n_jobs": …,
+         "decisions_per_s": …, "latency_p50_us": …, "latency_p95_us": …,
+         "latency_p99_us": …, "availability": …}, …
       ]
     }
 
@@ -305,6 +308,62 @@ def _bench_sweep(scale: float, workers: int) -> list[dict]:
     ]
 
 
+def _bench_serve(quick: bool) -> list[dict]:
+    """Online dispatcher decision throughput under a seeded fault model.
+
+    Drives one C90 stream through :class:`repro.serve.DispatchServer`
+    with a ~91%-availability re-dispatch fault model — the serve path's
+    realistic worst case: breakers tripping, retries backing off,
+    deferred flushes on repair — and records the per-decision wall-clock
+    latency percentiles the server already measures for its status
+    endpoint.  The accounting invariant is asserted, so the baseline
+    doubles as a soak in miniature.
+    """
+    from .core.policies import LeastWorkLeftPolicy
+    from .serve import DispatchServer, HealthMonitor
+    from .sim.faults import FaultModel
+    from .workloads.catalog import get_workload
+
+    n_jobs = 2_000 if quick else 20_000
+    trace = get_workload("c90").make_trace(load=0.7, n_hosts=4, n_jobs=n_jobs, rng=7)
+    t0 = float(trace.arrival_times[0])
+    jobs = [
+        (float(a) - t0, float(s))
+        for a, s in zip(trace.arrival_times, trace.service_times)
+    ]
+    faults = FaultModel(mtbf=20_000.0, mttr=2_000.0, semantics="redispatch", seed=3)
+    server = DispatchServer(
+        4,
+        LeastWorkLeftPolicy(),
+        seed=1,
+        faults=faults,
+        heartbeat_interval=faults.mttr,
+        health=HealthMonitor(cooldown=faults.mttr / 2),
+    )
+    start = time.perf_counter()
+    status = server.run_stream(jobs)
+    wall = time.perf_counter() - start
+    if not all(status["invariant"].values()):
+        raise AssertionError(
+            f"serve bench broke the accounting invariant: {status['counters']}"
+        )
+    lat = status["latency"]
+    return [
+        {
+            "name": "serve.dispatch",
+            "wall_s": wall,
+            "n_jobs": n_jobs,
+            "decisions_per_s": lat["decisions_per_s"],
+            "latency_p50_us": lat["p50_us"],
+            "latency_p95_us": lat["p95_us"],
+            "latency_p99_us": lat["p99_us"],
+            "availability": faults.availability,
+            "crashes": status["counters"]["crashes"],
+            "invariant_holds": True,
+        }
+    ]
+
+
 def _numba_version() -> str | None:
     """The numba version the compiled tier saw, or ``None``."""
     from .sim.compiled import NUMBA_VERSION
@@ -344,6 +403,7 @@ def run_benchmarks(
     entries += _bench_engine_vs_fast(n_backend, repeats)
     entries += _bench_search(quick, repeats)
     entries += _bench_sweep(sweep_scale, workers)
+    entries += _bench_serve(quick)
     return {
         "schema_version": SCHEMA_VERSION,
         "created": _dt.date.today().isoformat(),
@@ -378,6 +438,11 @@ def render(doc: dict) -> str:
         extra = []
         if e.get("jobs_per_s"):
             extra.append(f"{e['jobs_per_s'] / 1e3:8.0f}k jobs/s")
+        if e.get("decisions_per_s"):
+            extra.append(
+                f"{e['decisions_per_s']:6.0f} decisions/s  "
+                f"p50 {e['latency_p50_us']:.0f}us  p99 {e['latency_p99_us']:.0f}us"
+            )
         for key in ("speedup_vs_event", "speedup_vs_loop",
                     "speedup_vs_unshared", "speedup_vs_serial",
                     "speedup_vs_python"):

@@ -29,6 +29,13 @@ Subcommands
     cross-check the event engine against the fast kernels; exits 0
     deterministic, 1 divergence, 2 usage error.  ``--workers N`` also
     checks that a parallel sweep reproduces the serial rows exactly.
+``repro serve c90 --policy sita --mtbf 2000 --snapshot state.json``
+    Fault-tolerant online dispatcher: admission-controlled intake,
+    per-host circuit breakers, jittered-backoff retries, crash-safe
+    snapshots with deterministic ``--resume``, and (``--refit``)
+    degraded-mode SITA cutoff re-fitting; drives a seeded stream by
+    default, or serves newline-JSON over ``--socket``/``--tcp`` (see
+    ``docs/ROBUSTNESS.md``).
 ``repro bench [--quick] [--workers N] [--out PATH]``
     Performance baseline harness: time the simulation kernels, the
     event engine vs the fast path, the shared-computation cutoff-search
@@ -152,6 +159,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_bench_arguments(bench_p)
 
+    serve_p = sub.add_parser(
+        "serve",
+        help="fault-tolerant online dispatcher (driver or newline-JSON socket)",
+    )
+    from .serve.runner import add_serve_arguments
+
+    add_serve_arguments(serve_p)
+
     synth_p = sub.add_parser("synth", help="write a synthetic trace as SWF")
     synth_p.add_argument("workload", choices=WORKLOAD_NAMES)
     synth_p.add_argument("output", help="path of the SWF file to write")
@@ -250,6 +265,11 @@ def main(argv: list[str] | None = None) -> int:
         from .bench import run_from_args as run_bench
 
         return run_bench(args)
+
+    if args.command == "serve":
+        from .serve.runner import run_from_args as run_serve
+
+        return run_serve(args)
 
     if args.command == "synth":
         w = get_workload(args.workload)

@@ -447,6 +447,18 @@ class MomentMemo:
             per_cutoff.popitem(last=False)
         return entry
 
+    def discard(self, dist: ServiceDistribution) -> bool:
+        """Drop one distribution's slice from the memo, if present.
+
+        The memo holds a strong reference to every distribution it has
+        seen, so a caller that churns through short-lived distributions
+        (the online dispatcher re-fits from a sliding window, building a
+        fresh ``Empirical`` per re-fit) should release each retired one
+        explicitly rather than waiting for LRU eviction to unpin it.
+        Returns whether anything was dropped.
+        """
+        return self._dists.pop(id(dist), None) is not None
+
     def clear(self) -> None:
         self._dists.clear()
         self.hits = 0

@@ -29,6 +29,7 @@ SIM207     module-global mutation reachable from pool worker functions
 SIM208     signal.alarm/SIGALRM installed off the main thread
 SIM209     file write in experiments/ bypassing the atomic tmp+fsync+replace pattern
 SIM210     RNG object smuggled through a pickled closure into a worker
+SIM211     await between read and write of shared async-server state, no lock
 =========  ===========================================================
 
 The static analysis is deliberately **conservative**: a fact it cannot
@@ -100,7 +101,9 @@ def run_contract_rules(
 #: the runner (every registered rule across all three tiers).
 PROFILES: dict[str, frozenset[str]] = {
     "kernels": frozenset({"SIM201", "SIM202", "SIM203", "SIM204", "SIM205"}),
-    "concurrency": frozenset({"SIM206", "SIM207", "SIM208", "SIM209", "SIM210"}),
+    "concurrency": frozenset(
+        {"SIM206", "SIM207", "SIM208", "SIM209", "SIM210", "SIM211"}
+    ),
 }
 
 
@@ -1534,3 +1537,196 @@ class PickledRngRule(ProjectRule):
                 seen.add(name)
                 out.append((name, via))
         return out
+
+
+# ---------------------------------------------------------------------------
+# SIM211 — await between read and write of shared async-server state
+# ---------------------------------------------------------------------------
+
+
+#: container methods that mutate their receiver in place (async-state rule).
+_ASYNC_MUTATORS = frozenset(
+    {
+        "add", "append", "appendleft", "clear", "discard", "extend",
+        "insert", "pop", "popleft", "remove", "setdefault", "update",
+    }
+)
+
+
+@register_contract
+class AwaitSharedMutationRule(ProjectRule):
+    """SIM211: a read→``await``→write of ``self`` state needs a lock.
+
+    Every ``await`` is a scheduling point: another task (another socket
+    connection in the serve front end) can run arbitrary handler code
+    before control returns.  A coroutine that reads ``self.x``, awaits,
+    then writes ``self.x`` from the stale read is the classic async
+    lost-update — it works under every single-connection test and drops
+    updates under concurrent load.  The rule flags the *write* when the
+    read/await/write sequence is not protected, where protected means
+    the read and the write both sit inside ``async with <lock>`` blocks
+    (any context manager whose name mentions lock/mutex/semaphore) or
+    the coroutine carries a ``single_writer`` decorator asserting that
+    exactly one task ever runs it.
+
+    Intra-statement forms are the same bug and are caught by event
+    ordering: ``self.x += await f()`` and ``self.x = self.x + await f()``
+    both read before the await and store after it.
+    """
+
+    id = "SIM211"
+    summary = "await between read and write of shared async state without a lock"
+
+    _LOCK_WORDS = frozenset({"lock", "mutex", "semaphore", "sem"})
+
+    def applies_module(self, module: ModuleInfo) -> bool:
+        return module.ctx.in_library
+
+    def check(self) -> None:
+        for module in self.modules():
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.AsyncFunctionDef):
+                    if not self._is_single_writer(node):
+                        self._check_coroutine(module, node)
+
+    # -- helpers ---------------------------------------------------------
+
+    @staticmethod
+    def _is_single_writer(fn: ast.AsyncFunctionDef) -> bool:
+        return any(
+            _terminal_name(d) == "single_writer" for d in fn.decorator_list
+        )
+
+    def _is_lock_manager(self, item: ast.withitem) -> bool:
+        expr = item.context_expr
+        if isinstance(expr, ast.Call):
+            expr = expr.func
+        tail = _terminal_name(expr)
+        if tail is None:
+            return False
+        return bool(set(_snake_words(tail)) & self._LOCK_WORDS)
+
+    @staticmethod
+    def _self_attr(node: ast.expr) -> str | None:
+        """``self.<attr>`` → attr name (through subscripts: self.d[k])."""
+        while isinstance(node, ast.Subscript):
+            node = node.value
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        return None
+
+    def _events(
+        self, fn: ast.AsyncFunctionDef
+    ) -> list[tuple[str, str | None, bool, ast.AST]]:
+        """``(kind, attr, protected, node)`` in execution-ish order.
+
+        Kinds: ``read``/``write``/``await``.  Events inside one statement
+        are emitted value-before-target, so ``self.x = self.x + await f()``
+        yields read, await, write — the order the interpreter runs them.
+        Nested function definitions are opaque (their bodies get their own
+        visit when they are themselves async).
+        """
+        events: list[tuple[str, str | None, bool, ast.AST]] = []
+
+        def scan_expr(expr: ast.AST, protected: bool) -> None:
+            for sub in ast.walk(expr):
+                if isinstance(
+                    sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+                ):
+                    continue
+                if isinstance(sub, ast.Await):
+                    events.append(("await", None, protected, sub))
+                elif isinstance(sub, ast.Attribute) and isinstance(
+                    sub.ctx, ast.Load
+                ):
+                    attr = self._self_attr(sub)
+                    if attr is not None:
+                        events.append(("read", attr, protected, sub))
+                elif isinstance(sub, ast.Call) and isinstance(
+                    sub.func, ast.Attribute
+                ):
+                    if sub.func.attr in _ASYNC_MUTATORS:
+                        attr = self._self_attr(sub.func.value)
+                        if attr is not None:
+                            events.append(("write", attr, protected, sub))
+
+        def scan_stmt(stmt: ast.stmt, protected: bool) -> None:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return
+            if isinstance(stmt, ast.AsyncWith):
+                locked = protected or any(
+                    self._is_lock_manager(item) for item in stmt.items
+                )
+                for item in stmt.items:
+                    scan_expr(item.context_expr, protected)
+                # entering an async context manager awaits __aenter__.
+                events.append(("await", None, protected, stmt))
+                for sub in stmt.body:
+                    scan_stmt(sub, locked)
+                return
+            if isinstance(stmt, ast.Assign):
+                scan_expr(stmt.value, protected)
+                for target in stmt.targets:
+                    attr = self._self_attr(target)
+                    if attr is not None:
+                        events.append(("write", attr, protected, stmt))
+                return
+            if isinstance(stmt, ast.AugAssign):
+                attr = self._self_attr(stmt.target)
+                if attr is not None:
+                    events.append(("read", attr, protected, stmt.target))
+                scan_expr(stmt.value, protected)
+                if attr is not None:
+                    events.append(("write", attr, protected, stmt))
+                return
+            # generic statement: expression parts first, then sub-blocks.
+            for field in ast.iter_child_nodes(stmt):
+                if isinstance(field, ast.stmt):
+                    scan_stmt(field, protected)
+                else:
+                    scan_expr(field, protected)
+
+        for stmt in fn.body:
+            scan_stmt(stmt, False)
+        return events
+
+    def _check_coroutine(
+        self, module: ModuleInfo, fn: ast.AsyncFunctionDef
+    ) -> None:
+        #: attr → node of the latest unprotected read still awaiting a write.
+        pending: dict[str, ast.AST] = {}
+        awaited: set[str] = set()
+        reported: set[str] = set()
+        for kind, attr, protected, node in self._events(fn):
+            if kind == "await":
+                awaited.update(pending)
+            elif kind == "read":
+                assert attr is not None
+                if not protected:
+                    pending.setdefault(attr, node)
+            else:  # write
+                assert attr is not None
+                if (
+                    not protected
+                    and attr in pending
+                    and attr in awaited
+                    and attr not in reported
+                ):
+                    reported.add(attr)
+                    self.report(
+                        module,
+                        node,
+                        f"coroutine `{fn.name}` reads `self.{attr}`, awaits, "
+                        "then writes it back: another task can interleave at "
+                        "the await and this write clobbers its update — hold "
+                        "an asyncio.Lock across the read-modify-write (async "
+                        "with), or mark the coroutine @single_writer if only "
+                        "one task ever runs it",
+                    )
+                # written (locked or not): later writes pair with later reads.
+                pending.pop(attr, None)
+                awaited.discard(attr)

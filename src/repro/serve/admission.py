@@ -1,0 +1,111 @@
+"""Admission control: token-bucket intake and bounded backpressure.
+
+The online dispatcher must not fall over when offered more work than the
+hosts can absorb — the failure mode of an unbounded intake is an
+ever-growing queue whose latency grows without bound long before memory
+runs out.  Two mechanisms bound it:
+
+* a **token bucket** rate-limits intake: tokens refill at ``rate`` per
+  simulated second up to ``burst``; a job that arrives to an empty
+  bucket is *shed* with an explicit ``rejected`` outcome (never silently
+  dropped, never queued);
+* a **deferred-queue cap**: jobs that were admitted but cannot dispatch
+  (every breaker open) wait at the dispatcher, and that queue has a hard
+  bound — overflow sheds the *new* arrival rather than growing.
+
+Both are deterministic functions of the virtual clock, so an admission
+trace replays bit-identically.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["TokenBucket", "AdmissionController"]
+
+
+class TokenBucket:
+    """Deterministic token bucket over the caller-supplied clock.
+
+    ``rate=math.inf`` disables rate limiting entirely (the bucket always
+    grants), which keeps the no-admission-control configuration
+    bit-identical to a server without a bucket in the path.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "_last")
+
+    def __init__(self, rate: float = math.inf, burst: float = 1.0) -> None:
+        if not rate > 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if not (burst >= 1 and math.isfinite(burst)):
+            raise ValueError(f"burst must be >= 1 and finite, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._last = 0.0
+
+    def _refill(self, now: float) -> None:
+        if now > self._last:
+            self.tokens = min(self.burst, self.tokens + (now - self._last) * self.rate)
+            self._last = now
+
+    def try_acquire(self, now: float) -> bool:
+        """Take one token if available; never blocks."""
+        if math.isinf(self.rate):
+            return True
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class AdmissionController:
+    """Intake decision: ``admit`` or ``reject`` (with a recorded reason).
+
+    The controller does not own the deferred queue — the dispatcher
+    does — it is handed the current backlog depth so the cap check and
+    the bucket check sit in one auditable place.
+    """
+
+    def __init__(
+        self,
+        rate: float = math.inf,
+        burst: float = 1.0,
+        max_deferred: int = 1024,
+    ) -> None:
+        if max_deferred < 0:
+            raise ValueError(f"max_deferred must be >= 0, got {max_deferred}")
+        self.bucket = TokenBucket(rate=rate, burst=burst)
+        self.max_deferred = int(max_deferred)
+        self.n_admitted = 0
+        self.n_rejected_rate = 0
+        self.n_rejected_backlog = 0
+
+    def admit(self, now: float, deferred_depth: int) -> str:
+        """``"admit"``, ``"reject-rate"`` or ``"reject-backlog"``."""
+        if deferred_depth > self.max_deferred:
+            raise ValueError(
+                f"deferred depth {deferred_depth} exceeds the hard cap "
+                f"{self.max_deferred} — the dispatcher failed to shed"
+            )
+        if deferred_depth == self.max_deferred and self.max_deferred > 0:
+            self.n_rejected_backlog += 1
+            return "reject-backlog"
+        if not self.bucket.try_acquire(now):
+            self.n_rejected_rate += 1
+            return "reject-rate"
+        self.n_admitted += 1
+        return "admit"
+
+    def status(self) -> dict:
+        return {
+            "admitted": self.n_admitted,
+            "rejected_rate": self.n_rejected_rate,
+            "rejected_backlog": self.n_rejected_backlog,
+            "max_deferred": self.max_deferred,
+            # None = unlimited; math.inf would render as the non-standard
+            # JSON token ``Infinity`` on the status endpoint.
+            "rate": self.bucket.rate if math.isfinite(self.bucket.rate) else None,
+            "burst": self.bucket.burst,
+        }

@@ -1,0 +1,631 @@
+"""The fault-tolerant online dispatcher.
+
+This module turns the batch simulator into a long-lived *server*: jobs
+are offered one at a time (by the in-process driver or the newline-JSON
+front end), each one is admitted or shed, routed through the existing
+policy objects, and accounted for — while hosts crash and repair
+underneath, per the same :mod:`repro.sim.faults` semantics the batch
+experiments use as their failure model.
+
+Architecture
+------------
+
+``DispatchServer`` is the deterministic core.  It embeds the
+event-driven :class:`~repro.sim.server.DistributedServer` (hosts, FCFS
+queues, crash/repair semantics, strict-mode invariants) and layers the
+robustness machinery on top:
+
+* **admission** — token-bucket intake plus a deferred-queue hard cap;
+  over-rate or over-backlog arrivals are shed with an explicit
+  ``rejected`` outcome (:mod:`repro.serve.admission`);
+* **health** — per-host circuit breakers driven by heartbeat probes and
+  handoff outcomes; dispatch masks on the breaker *belief*, never the
+  true host state (:mod:`repro.serve.health`);
+* **retry** — a handoff to a host that turns out to be down is retried
+  with jittered exponential backoff, the jitter drawn from a dedicated
+  spawned :class:`~numpy.random.SeedSequence` child so fault-free runs
+  never touch the stream;
+* **degraded-mode cutoffs** — SITA cutoffs re-fit online from a sliding
+  window, falling back to last-known-good on any validation failure
+  (:mod:`repro.serve.refit`);
+* **snapshots** — the accounting is periodically persisted with atomic
+  writes, and ``resume_from`` replays the stream prefix to reconstruct
+  state bit-identically after SIGKILL (:mod:`repro.serve.snapshot`).
+
+Everything advances on the *virtual* clock of the embedded event engine
+— arrival epochs are supplied by the caller — so a served stream is a
+deterministic, replayable function of its seeds.  Wall-clock enters only
+through the per-decision latency reservoir, which is observability, not
+state.
+
+The accounting invariant, checked in :meth:`DispatchServer.status` and
+asserted by the soak test::
+
+    accepted == completed + rejected + lost + in_flight
+
+with ``in_flight == 0`` after :meth:`~DispatchServer.drain`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from ..core.policies import GroupedSITAPolicy, SITAPolicy
+from ..core.policies.sita import validate_cutoffs
+from ..sim.faults import FaultModel
+from ..sim.jobs import Job
+from ..sim.metrics import jain_fairness_index
+from ..sim.server import DistributedServer
+from .admission import AdmissionController
+from .health import HealthMonitor
+from .refit import CutoffManager
+from .snapshot import SnapshotStore
+
+__all__ = ["DispatchServer", "OnlineDispatchError"]
+
+
+class OnlineDispatchError(RuntimeError):
+    """The dispatcher cannot make progress or failed a resume audit."""
+
+
+class _OnlineServer(DistributedServer):
+    """The embedded server with belief-masked dispatch and retry/backoff.
+
+    The parent routes on the *true* up mask; this subclass routes on the
+    health monitor's breaker belief, pays for stale beliefs with failed
+    handoffs (observed by the breakers), parks failed jobs in backoff
+    timers, and sheds on overflow — extending the parent's conservation
+    accounting with the two new places a job can legally be.
+    """
+
+    def __init__(
+        self,
+        n_hosts: int,
+        policy,
+        *,
+        rng,
+        host_speeds,
+        strict,
+        faults,
+        health: HealthMonitor,
+        max_deferred: int,
+        max_retries: int,
+        give_up_after: int,
+        backoff_base: float,
+        backoff_mult: float,
+        jitter_rng: np.random.Generator,
+        on_shed,
+        on_crash,
+    ) -> None:
+        super().__init__(
+            n_hosts,
+            policy,
+            rng=rng,
+            host_speeds=host_speeds,
+            strict=strict,
+            faults=faults,
+        )
+        self._health = health
+        self.max_deferred = int(max_deferred)
+        self.max_retries = int(max_retries)
+        self.give_up_after = int(give_up_after)
+        self.backoff_base = float(backoff_base)
+        self.backoff_mult = float(backoff_mult)
+        self._jitter_rng = jitter_rng
+        self._on_shed = on_shed
+        self._on_crash = on_crash
+        #: jobs parked in a backoff timer, by job index.
+        self._parked: dict[int, Job] = {}
+        self._attempts: dict[int, int] = {}
+        #: jobs shed after admission (deferred-queue overflow).
+        self._shed_jobs: list[Job] = []
+        self.n_retries = 0
+        self.n_handoff_failures = 0
+        self.n_given_up = 0
+
+    # -- dispatch ------------------------------------------------------
+
+    def _dispatch(self, job: Job) -> None:
+        now = self.sim.now
+        if job.interruptions > self.give_up_after:
+            # Under "redispatch" semantics a job larger than the typical
+            # up-period loses its progress at every crash and can
+            # *never* complete; an unbounded retry loop would spin the
+            # clock forever.  Give up explicitly: the job becomes a
+            # "lost" outcome, visible in the counters.
+            job.lost = True
+            self._lost.append(job)
+            self._attempts.pop(job.index, None)
+            self.n_given_up += 1
+            return
+        up = self._health.up_mask(now)
+        if not up.any():
+            self._defer_or_shed(job)
+            return
+        host_idx = int(self.policy.choose_live_host(job, self.state, up))
+        if not 0 <= host_idx < len(self.hosts) or not up[host_idx]:
+            raise ValueError(
+                f"policy returned invalid or masked host {host_idx} "
+                f"for job {job.index}"
+            )
+        host = self.hosts[host_idx]
+        if host.up:
+            self._attempts.pop(job.index, None)
+            self._health.probe(host_idx, True, now)
+            host.submit(job)
+            return
+        # The breaker believed this host live but the handoff failed —
+        # the belief was stale.  Feed the failure back and retry with
+        # jittered exponential backoff.
+        self.n_handoff_failures += 1
+        self._health.probe(host_idx, False, now)
+        attempts = self._attempts.get(job.index, 0) + 1
+        self._attempts[job.index] = attempts
+        if attempts > self.max_retries:
+            self._attempts.pop(job.index, None)
+            self._defer_or_shed(job)
+            return
+        self.n_retries += 1
+        delay = self.backoff_base * self.backoff_mult ** (attempts - 1)
+        delay *= 1.0 + float(self._jitter_rng.random())
+        self._parked[job.index] = job
+        self.sim.schedule_after(delay, self._retry, job)
+
+    def _retry(self, job: Job) -> None:
+        if self._parked.pop(job.index, None) is None:  # pragma: no cover
+            return
+        self._dispatch(job)
+
+    def _defer_or_shed(self, job: Job) -> None:
+        if len(self._deferred) < self.max_deferred:
+            self._deferred.append(job)
+        else:
+            self._shed_jobs.append(job)
+            if self._on_shed is not None:
+                self._on_shed(job)
+
+    def _flush_deferred(self) -> None:
+        """One bounded pass over the deferred queue, FCFS.
+
+        ``_dispatch`` may legally push a popped job back (mask emptied,
+        retries exhausted), so the pass is bounded by the queue's length
+        at entry instead of looping until empty.
+        """
+        for _ in range(len(self._deferred)):
+            if not self._health.up_mask(self.sim.now).any():
+                return
+            self._dispatch(self._deferred.popleft())
+
+    # -- fault plumbing ------------------------------------------------
+
+    def crash_host(self, host_id: int) -> None:
+        super().crash_host(host_id)
+        # Detection is *not* instant — the breakers learn from failed
+        # handoffs and the next heartbeat, never from this event.
+        if self._on_crash is not None:
+            self._on_crash(host_id)
+
+    def repair_host(self, host_id: int) -> None:
+        self.hosts[host_id].repair()
+        # A repaired host announces itself: one successful probe.  An
+        # open breaker still waits out its cooldown before trusting it.
+        self._health.probe(host_id, True, self.sim.now)
+        self._flush_deferred()
+
+    # -- accounting ----------------------------------------------------
+
+    def _dispatcher_held(self) -> dict[str, int]:
+        held = super()._dispatcher_held()
+        held["parked"] = len(self._parked)
+        held["shed"] = len(self._shed_jobs)
+        return held
+
+
+class DispatchServer:
+    """Deterministic online dispatcher core.
+
+    Parameters
+    ----------
+    n_hosts, policy, host_speeds:
+        As for :class:`~repro.sim.server.DistributedServer`; only
+        immediate-dispatch policies (``kind`` of ``"static"`` or
+        ``"state"``) are servable.
+    seed:
+        Root of the server's RNG tree.  Spawned children feed the policy
+        and the retry jitter; the fault schedule has its own root inside
+        ``faults`` (exactly the batch discipline).
+    faults:
+        Optional :class:`~repro.sim.faults.FaultModel`; its injector is
+        attached immediately, so crashes interleave with the stream.
+    admission:
+        Intake policy; defaults to an unlimited bucket with a 1024-job
+        deferred cap.
+    health:
+        Breaker configuration; hosts are registered here automatically.
+    cutoff_manager:
+        Optional degraded-mode re-fit manager.  Requires a single-cutoff
+        policy (2-host :class:`SITAPolicy` or any
+        :class:`GroupedSITAPolicy`).
+    heartbeat_interval:
+        Simulated seconds between probe rounds.
+    max_retries, give_up_after:
+        Failed-handoff retries per dispatch attempt, and the budget of
+        service-interrupting crashes after which a job is abandoned as
+        an explicit ``lost`` outcome — under ``"redispatch"`` semantics
+        a job longer than the typical up-period would otherwise never
+        complete and the drain could never terminate.
+    snapshot_store, snapshot_every:
+        Crash-safe accounting; a snapshot is written every
+        ``snapshot_every``-th offered job and once more on drain.
+    """
+
+    def __init__(
+        self,
+        n_hosts: int,
+        policy,
+        *,
+        seed: int = 0,
+        host_speeds: Sequence[float] | None = None,
+        strict: bool | None = None,
+        faults: FaultModel | None = None,
+        admission: AdmissionController | None = None,
+        health: HealthMonitor | None = None,
+        cutoff_manager: CutoffManager | None = None,
+        heartbeat_interval: float = 5.0,
+        max_retries: int = 3,
+        give_up_after: int = 16,
+        backoff_base: float = 0.25,
+        backoff_mult: float = 2.0,
+        snapshot_store: SnapshotStore | None = None,
+        snapshot_every: int = 1000,
+    ) -> None:
+        kind = getattr(policy, "kind", None)
+        if kind not in ("static", "state"):
+            raise ValueError(
+                f"the online dispatcher serves immediate-dispatch policies "
+                f"only (kind 'static' or 'state'), got {kind!r}"
+            )
+        if not heartbeat_interval > 0:
+            raise ValueError(
+                f"heartbeat_interval must be positive, got {heartbeat_interval}"
+            )
+        if cutoff_manager is not None:
+            self._check_refittable(policy)
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.admission = admission if admission is not None else AdmissionController()
+        self.health = health if health is not None else HealthMonitor()
+        for i in range(n_hosts):
+            self.health.register_host(i)
+        self.cutoff_manager = cutoff_manager
+        self.snapshot_store = snapshot_store
+        self.snapshot_every = int(snapshot_every)
+        policy_seq, jitter_seq = np.random.SeedSequence(seed).spawn(2)
+        self._inner = _OnlineServer(
+            n_hosts,
+            policy,
+            rng=np.random.default_rng(policy_seq),
+            host_speeds=host_speeds,
+            strict=strict,
+            faults=faults,
+            health=self.health,
+            max_deferred=self.admission.max_deferred,
+            max_retries=max_retries,
+            give_up_after=give_up_after,
+            backoff_base=backoff_base,
+            backoff_mult=backoff_mult,
+            jitter_rng=np.random.default_rng(jitter_seq),
+            on_shed=self._on_shed,
+            on_crash=self._on_crash,
+        )
+        self.policy = policy
+        self.n_accepted = 0
+        self.n_rejected_intake = 0
+        self._next_index = 0
+        self._replaying = False
+        self._latency_ns: list[int] = []
+        self._deferred_peak = 0
+        if self._inner.fault_injector is not None:
+            self._inner.fault_injector.attach(self._inner)
+        self._inner.sim.schedule_after(self.heartbeat_interval, self._heartbeat)
+
+    @staticmethod
+    def _check_refittable(policy) -> None:
+        single = isinstance(policy, GroupedSITAPolicy) or (
+            isinstance(policy, SITAPolicy) and policy.cutoffs.size == 1
+        )
+        if not single:
+            raise ValueError(
+                "online cutoff re-fit needs a single-cutoff policy "
+                "(2-host SITAPolicy or GroupedSITAPolicy), got "
+                f"{getattr(policy, 'name', type(policy).__name__)!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # internal hooks
+    # ------------------------------------------------------------------
+
+    def _on_shed(self, job: Job) -> None:
+        # Deferred-queue overflow: accounting only; the job object stays
+        # on the inner server's shed list for conservation.
+        pass
+
+    def _on_crash(self, host_id: int) -> None:
+        if self.cutoff_manager is not None:
+            self.cutoff_manager.mark_contaminated()
+
+    def _heartbeat(self) -> None:
+        now = self._inner.sim.now
+        for i, host in enumerate(self._inner.hosts):
+            self.health.probe(i, host.up, now)
+        self._inner._flush_deferred()
+        self._inner.sim.schedule_after(self.heartbeat_interval, self._heartbeat)
+
+    def _apply_cutoff(self, cutoff: float) -> None:
+        policy = self.policy
+        if isinstance(policy, GroupedSITAPolicy):
+            policy.cutoff = float(cutoff)
+        else:
+            policy.cutoffs = validate_cutoffs([cutoff])
+
+    # ------------------------------------------------------------------
+    # the hot path
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._inner.sim.now
+
+    def submit(
+        self,
+        size: float,
+        arrival: float,
+        size_estimate: float | None = None,
+    ) -> dict:
+        """Offer one job to the server; returns the decision record.
+
+        ``arrival`` is the job's virtual-time epoch and must be
+        non-decreasing across calls; the embedded engine is advanced to
+        it first, so crashes, repairs, heartbeats and retries that were
+        due interleave exactly as they would in a batch run.
+        """
+        t0 = time.perf_counter_ns()
+        if not (size > 0 and math.isfinite(size)):
+            raise ValueError(f"job size must be positive and finite, got {size}")
+        now = float(arrival)
+        sim = self._inner.sim
+        if now < sim.now:
+            raise ValueError(
+                f"arrivals must be non-decreasing: got {now} at server "
+                f"time {sim.now}"
+            )
+        sim.run(until=now)
+        self.n_accepted += 1
+        decision = self.admission.admit(now, len(self._inner._deferred))
+        if decision != "admit":
+            self.n_rejected_intake += 1
+            record = {"outcome": "rejected", "reason": decision, "host": None}
+        else:
+            job = Job(
+                index=self._next_index,
+                arrival_time=now,
+                size=float(size),
+                size_estimate=float(size if size_estimate is None else size_estimate),
+            )
+            self._next_index += 1
+            mgr = self.cutoff_manager
+            if mgr is not None and mgr.observe(job.size, now):
+                if mgr.refit():
+                    self._apply_cutoff(mgr.cutoff)
+            sim.schedule(now, self._inner._handle_arrival, job)
+            sim.run(until=now)
+            record = {
+                "outcome": "admitted",
+                "reason": "admit",
+                "host": job.assigned_host,
+            }
+        self._deferred_peak = max(self._deferred_peak, len(self._inner._deferred))
+        self._latency_ns.append(time.perf_counter_ns() - t0)
+        if (
+            self.snapshot_store is not None
+            and not self._replaying
+            and self.snapshot_every > 0
+            and self.n_accepted % self.snapshot_every == 0
+        ):
+            self._write_snapshot()
+        return record
+
+    def drain(self, max_stalls: int = 256) -> None:
+        """Advance virtual time until no admitted job is in flight.
+
+        Each chunk's horizon is sized from the *remaining work* (host
+        backlogs plus deferred/parked job sizes), so a heavy-tailed job
+        mid-service is drained in a handful of chunks rather than by
+        fixed-step crawling.  Progress is still bounded: ``max_stalls``
+        consecutive chunks completing nothing raises a diagnosable
+        :class:`OnlineDispatchError` (a fault model whose repairs cannot
+        keep up with the retry churn) instead of spinning forever.
+        """
+        inner = self._inner
+        sim = inner.sim
+        stalls = 0
+        while self.in_flight > 0:
+            done_before = self.n_completed + self.n_lost
+            pending = float(np.sum(inner.state.work_left()))
+            pending += sum(j.size for j in inner._deferred)
+            pending += sum(j.size for j in inner._parked.values())
+            step = max(2.0 * pending, 4.0 * self.heartbeat_interval)
+            if inner.fault_injector is not None:
+                step = max(step, 2.0 * inner.fault_injector.model.mttr)
+            sim.run(until=sim.now + step)
+            if self.n_completed + self.n_lost == done_before:
+                stalls += 1
+                if stalls >= max_stalls:
+                    injector = inner.fault_injector
+                    hint = (
+                        f" (availability {injector.model.availability:.3f})"
+                        if injector is not None
+                        else ""
+                    )
+                    raise OnlineDispatchError(
+                        f"{self.in_flight} jobs still in flight after "
+                        f"{max_stalls} stalled drain chunks — the fault "
+                        f"model may be too aggressive to make progress{hint}"
+                    )
+            else:
+                stalls = 0
+        if self.snapshot_store is not None and not self._replaying:
+            self._write_snapshot()
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def n_completed(self) -> int:
+        return len(self._inner._completed)
+
+    @property
+    def n_lost(self) -> int:
+        return len(self._inner._lost)
+
+    @property
+    def n_rejected(self) -> int:
+        """All sheds: at intake plus deferred-queue overflow."""
+        return self.n_rejected_intake + len(self._inner._shed_jobs)
+
+    @property
+    def in_flight(self) -> int:
+        return self.n_accepted - self.n_rejected - self.n_completed - self.n_lost
+
+    def counters(self) -> dict:
+        """The deterministic accounting (snapshot payload, audit unit)."""
+        inner = self._inner
+        injector = inner.fault_injector
+        return {
+            "accepted": self.n_accepted,
+            "rejected": self.n_rejected,
+            "rejected_intake": self.n_rejected_intake,
+            "rejected_overflow": len(inner._shed_jobs),
+            "completed": self.n_completed,
+            "lost": self.n_lost,
+            "in_flight": self.in_flight,
+            "retries": inner.n_retries,
+            "handoff_failures": inner.n_handoff_failures,
+            "given_up": inner.n_given_up,
+            "deferred": len(inner._deferred),
+            "parked": len(inner._parked),
+            "deferred_peak": self._deferred_peak,
+            "crashes": 0 if injector is None else injector.total_crashes,
+        }
+
+    def latency_summary(self) -> dict:
+        """Wall-clock decision latency (observability, not state)."""
+        if not self._latency_ns:
+            return {"decisions": 0}
+        ns = np.asarray(self._latency_ns, dtype=float)
+        return {
+            "decisions": int(ns.size),
+            "decisions_per_s": float(ns.size / (ns.sum() / 1e9)),
+            "mean_us": float(ns.mean() / 1e3),
+            "p50_us": float(np.percentile(ns, 50) / 1e3),
+            "p95_us": float(np.percentile(ns, 95) / 1e3),
+            "p99_us": float(np.percentile(ns, 99) / 1e3),
+        }
+
+    def status(self) -> dict:
+        """Full observability document (counters, breakers, cutoffs…)."""
+        now = self.now
+        counters = self.counters()
+        holds = counters["accepted"] == (
+            counters["completed"]
+            + counters["rejected"]
+            + counters["lost"]
+            + counters["in_flight"]
+        )
+        completed = self._inner._completed
+        slowdowns = (
+            np.array([j.slowdown for j in completed]) if completed else None
+        )
+        injector = self._inner.fault_injector
+        return {
+            "clock": now,
+            "counters": counters,
+            "invariant": {"accepted = completed + rejected + lost + in_flight": holds},
+            "admission": self.admission.status(),
+            "breakers": self.health.status(now),
+            "cutoffs": None
+            if self.cutoff_manager is None
+            else self.cutoff_manager.status(),
+            "faults": None if injector is None else injector.schedule_status(),
+            "jain_slowdown": None
+            if slowdowns is None
+            else jain_fairness_index(slowdowns),
+            "latency": self.latency_summary(),
+        }
+
+    # ------------------------------------------------------------------
+    # snapshots / resume
+    # ------------------------------------------------------------------
+
+    def _write_snapshot(self) -> None:
+        assert self.snapshot_store is not None
+        self.snapshot_store.save(
+            {
+                "accepted": self.n_accepted,
+                "clock": self.now,
+                "counters": self.counters(),
+                "breakers": self.health.states(self.now),
+            }
+        )
+
+    def run_stream(
+        self,
+        jobs: Iterable[tuple[float, float]],
+        resume: bool = False,
+    ) -> dict:
+        """Drive a full ``(arrival, size)`` stream and drain.
+
+        With ``resume=True`` and a valid snapshot, the recorded prefix is
+        replayed first (snapshot writes suppressed) and the reconstructed
+        counters are audited against the stored ones — a mismatch means
+        the stream or the server is nondeterministic, and the resume
+        refuses to continue.
+        """
+        jobs = list(jobs)
+        start = 0
+        if resume:
+            if self.snapshot_store is None:
+                raise ValueError("resume requires a snapshot store")
+            doc = self.snapshot_store.load()
+            if doc is not None:
+                start = int(doc["accepted"])
+                if start > len(jobs):
+                    raise OnlineDispatchError(
+                        f"snapshot records {start} offered jobs but the "
+                        f"stream has only {len(jobs)}"
+                    )
+                self._replaying = True
+                try:
+                    for arrival, size in jobs[:start]:
+                        self.submit(size, arrival)
+                finally:
+                    self._replaying = False
+                got = self.counters()
+                if got != doc["counters"]:
+                    diff = {
+                        k: (got.get(k), doc["counters"].get(k))
+                        for k in sorted(set(got) | set(doc["counters"]))
+                        if got.get(k) != doc["counters"].get(k)
+                    }
+                    raise OnlineDispatchError(
+                        "resume audit failed: deterministic replay of "
+                        f"{start} jobs disagrees with the snapshot on {diff}"
+                    )
+        for arrival, size in jobs[start:]:
+            self.submit(size, arrival)
+        self.drain()
+        return self.status()

@@ -1,0 +1,93 @@
+"""Crash-safe server snapshots: atomic writes, deterministic resume.
+
+The dispatcher periodically persists its accounting to a single JSON
+file using the same discipline as the experiment checkpoint store
+(:class:`repro.experiments.base.Checkpoint`): write to a ``.tmp``
+sibling, flush, ``fsync``, then ``os.replace`` — a reader (including a
+resumed server after SIGKILL) only ever observes a complete file.
+
+Resume is **replay-based**: the snapshot records the *stream position*
+(how many jobs had been offered) plus the counters at that point, not
+the event calendar.  Because the driver's job stream and every internal
+draw come from spawned :class:`numpy.random.SeedSequence` children, a
+fresh server replaying the same prefix reconstructs the interrupted
+server's state bit-identically; the stored counters then serve as an
+audit — a mismatch means nondeterminism, and the resume refuses to
+continue rather than silently diverging.
+
+``REPRO_SERVE_KILL_AFTER=N`` (mirroring ``REPRO_CHECKPOINT_KILL_AFTER``)
+SIGKILLs the process after the N-th snapshot write — the CI soak job
+uses it to prove the crash-recovery path on a real kill, not a mock.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+from pathlib import Path
+from typing import Any
+
+__all__ = ["SnapshotStore", "serve_signature"]
+
+SNAPSHOT_VERSION = 1
+
+
+def serve_signature(config_description: str) -> str:
+    """Stable digest of a server configuration.
+
+    A snapshot written under one configuration must never seed a resume
+    under another — same guard as the checkpoint store's
+    ``config_signature``.
+    """
+    return hashlib.blake2s(config_description.encode(), digest_size=12).hexdigest()
+
+
+class SnapshotStore:
+    """Atomic single-file snapshot store for the online dispatcher."""
+
+    def __init__(self, path: str | Path, signature: str) -> None:
+        self.path = Path(path)
+        self.signature = signature
+        self.writes = 0
+
+    def save(self, payload: dict[str, Any]) -> None:
+        """Atomically persist ``payload`` (tmp + fsync + ``os.replace``)."""
+        doc = {
+            "version": SNAPSHOT_VERSION,
+            "signature": self.signature,
+            **payload,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(f".{self.path.name}.{os.getpid()}.tmp")
+        with open(tmp, "w") as fh:
+            json.dump(doc, fh, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self.writes += 1
+        kill_after = os.environ.get("REPRO_SERVE_KILL_AFTER")
+        if kill_after and self.writes >= int(kill_after):
+            os.kill(os.getpid(), signal.SIGKILL)  # pragma: no cover
+
+    def load(self) -> dict[str, Any] | None:
+        """The last complete snapshot, or ``None``.
+
+        ``None`` covers missing, unreadable, corrupt, wrong-version and
+        **stale** (signature mismatch) files — a resume from any of those
+        must start from scratch, exactly like the checkpoint store.
+        """
+        try:
+            with open(self.path) as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(doc, dict):
+            return None
+        if doc.get("version") != SNAPSHOT_VERSION:
+            return None
+        if doc.get("signature") != self.signature:
+            return None
+        return doc

@@ -191,9 +191,23 @@ class FaultInjector:
     # ------------------------------------------------------------------
 
     def attach(self, server) -> None:
-        """Schedule the first crash of every targeted host on ``server``."""
+        """Schedule the first crash of every targeted host on ``server``.
+
+        The server's host count is re-checked here: the injector may have
+        been constructed against a different ``n_hosts`` than the server
+        it is finally attached to (the online dispatcher builds both from
+        config), and a silently out-of-range target would simply never
+        crash anything.
+        """
         if self._server is not None:
             raise RuntimeError("fault injector is already attached to a server")
+        n_hosts = len(server.hosts)
+        bad = [h for h in self.targets if h >= n_hosts]
+        if bad:
+            raise ValueError(
+                f"fault model targets hosts {bad}, but the attached server "
+                f"registered only hosts 0..{n_hosts - 1}"
+            )
         self._server = server
         if not self.model.enabled:
             return
@@ -229,3 +243,36 @@ class FaultInjector:
         """Cumulative host down-time, counting still-open repair windows."""
         open_windows = sum(now - since for since in self._down_since.values())
         return sum(self.downtime.values()) + open_windows
+
+    def schedule_status(self) -> dict:
+        """Explicit introspection of the fault schedule's state.
+
+        "No crashes happened" is ambiguous without this: it can mean the
+        model has failures disabled (``mtbf=inf``), the injector was
+        never attached to a server, or the schedule is live but the first
+        draw simply hasn't fired yet.  The ``state`` field names which:
+
+        ``"disabled"``
+            The model cannot produce failures (``mtbf=math.inf``).
+        ``"unattached"``
+            :meth:`attach` has not been called; nothing is scheduled.
+        ``"active"``
+            Attached and armed: every targeted host has a crash or a
+            repair pending (the processes self-reschedule forever, so an
+            active schedule never exhausts).
+        """
+        if not self.model.enabled:
+            state = "disabled"
+        elif self._server is None:
+            state = "unattached"
+        else:
+            state = "active"
+        return {
+            "state": state,
+            "targets": list(self.targets),
+            "semantics": self.model.semantics,
+            "availability": self.model.availability,
+            "crashes": dict(self.n_crashes),
+            "down_now": sorted(self._down_since),
+            "total_crashes": self.total_crashes,
+        }

@@ -23,9 +23,32 @@ __all__ = [
     "Summary",
     "array_digest",
     "batch_means_ci",
+    "jain_fairness_index",
     "observe_result",
     "set_result_observer",
 ]
+
+
+def jain_fairness_index(values: np.ndarray) -> float:
+    """Jain's fairness index ``(Σv)² / (n·Σv²)`` over per-job metrics.
+
+    The standard allocation-fairness scalar (Jain, Chiu & Hawe 1984):
+    1 when every job experiences the same value, ``1/n`` when a single
+    job absorbs everything.  Applied to per-job *slowdowns* it condenses
+    the paper's fairness question — is expected slowdown flat in job
+    size? — into one monitorable number, which is what the online
+    dispatcher's status endpoint reports.  Returns ``nan`` for an empty
+    input and for degenerate all-zero values.
+    """
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        return math.nan
+    if np.any(v < 0):
+        raise ValueError("Jain's index is defined for non-negative values")
+    denom = v.size * float(np.sum(v * v))
+    if denom == 0.0:
+        return math.nan
+    return float(np.sum(v)) ** 2 / denom
 
 
 def array_digest(*arrays: np.ndarray | None, precision: int | None = None) -> str:
@@ -126,6 +149,9 @@ class Summary:
     p99_slowdown: float
     host_load_fraction: tuple[float, ...]
     host_job_fraction: tuple[float, ...]
+    #: Jain's fairness index over per-job slowdowns (1 = perfectly flat);
+    #: ``nan`` on summaries predating the field.
+    jain_slowdown: float = math.nan
 
     def as_row(self) -> dict[str, float]:
         """Flatten for tabular reports."""
@@ -137,6 +163,10 @@ class Summary:
             "var_response": self.var_response,
             "mean_wait": self.mean_wait,
         }
+        # Folded in only when finite — historical rows stay byte-stable
+        # (same precedent as the fault columns in result digests).
+        if not math.isnan(self.jain_slowdown):
+            row["jain_slowdown"] = self.jain_slowdown
         for i, f in enumerate(self.host_load_fraction):
             row[f"load_frac_host{i}"] = f
         return row
@@ -296,6 +326,7 @@ class SimulationResult:
             p99_slowdown=float(np.percentile(slow, 99)),
             host_load_fraction=tuple(load_frac),
             host_job_fraction=tuple(job_frac),
+            jain_slowdown=jain_fairness_index(slow),
         )
 
     def class_mean_slowdowns(self, cutoff: float) -> tuple[float, float]:

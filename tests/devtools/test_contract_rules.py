@@ -1,4 +1,4 @@
-"""Positive + negative fixtures for the contract tier SIM201–SIM210.
+"""Positive + negative fixtures for the contract tier SIM201–SIM211.
 
 Mirrors ``test_flow_rules.py``: every rule registered in
 ``CONTRACT_RULES`` must have at least one fixture that triggers it and
@@ -329,6 +329,29 @@ def run(seed, n):
     return [ex.submit(work, seed + i) for i in range(n)]
 """,
         SIM_PATH,
+    ),
+    "SIM211": (
+        # positive: read, await, write-back of shared async-server state
+        """\
+class Frontend:
+    async def handle(self, reader, writer):
+        depth = self.depth
+        line = await reader.readline()
+        self.depth = depth + 1
+        self.pending.append(line)
+""",
+        "src/repro/serve/fixture.py",
+        # negative: the read-modify-write is held under the lock
+        """\
+class Frontend:
+    async def handle(self, reader, writer):
+        line = await reader.readline()
+        async with self._lock:
+            depth = self.depth
+            self.depth = depth + 1
+            self.pending.append(line)
+""",
+        "src/repro/serve/fixture.py",
     ),
 }
 

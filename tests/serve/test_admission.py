@@ -1,0 +1,65 @@
+"""Token-bucket and admission-controller unit tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.serve.admission import AdmissionController, TokenBucket
+
+
+class TestTokenBucket:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            TokenBucket(rate=0.0)
+        with pytest.raises(ValueError, match="burst"):
+            TokenBucket(burst=0.5)
+        with pytest.raises(ValueError, match="burst"):
+            TokenBucket(burst=math.inf)
+
+    def test_infinite_rate_always_grants(self):
+        bucket = TokenBucket()
+        assert all(bucket.try_acquire(0.0) for _ in range(1000))
+
+    def test_burst_then_starve_then_refill(self):
+        bucket = TokenBucket(rate=1.0, burst=2.0)
+        assert bucket.try_acquire(0.0)
+        assert bucket.try_acquire(0.0)
+        assert not bucket.try_acquire(0.0)  # bucket empty
+        assert not bucket.try_acquire(0.5)  # half a token is not a token
+        assert bucket.try_acquire(1.0)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0)
+        assert bucket.try_acquire(0.0)
+        # A long idle period refills to burst, not beyond.
+        assert bucket.try_acquire(100.0)
+        assert bucket.try_acquire(100.0)
+        assert not bucket.try_acquire(100.0)
+
+
+class TestAdmissionController:
+    def test_backlog_check_precedes_rate_check(self):
+        ctrl = AdmissionController(rate=1.0, burst=1.0, max_deferred=4)
+        assert ctrl.admit(0.0, 4) == "reject-backlog"
+        # The bucket was not consulted: its token is still there.
+        assert ctrl.admit(0.0, 0) == "admit"
+
+    def test_rate_rejection(self):
+        ctrl = AdmissionController(rate=0.5, burst=1.0)
+        assert ctrl.admit(0.0, 0) == "admit"
+        assert ctrl.admit(0.0, 0) == "reject-rate"
+        assert ctrl.admit(2.0, 0) == "admit"
+        assert ctrl.n_admitted == 2
+        assert ctrl.n_rejected_rate == 1
+
+    def test_overfull_backlog_is_a_programming_error(self):
+        ctrl = AdmissionController(max_deferred=2)
+        with pytest.raises(ValueError, match="failed to shed"):
+            ctrl.admit(0.0, 3)
+
+    def test_status_reports_unlimited_rate_as_none(self):
+        # math.inf would serialise as the non-standard JSON ``Infinity``.
+        assert AdmissionController().status()["rate"] is None
+        assert AdmissionController(rate=2.0).status()["rate"] == 2.0

@@ -1,0 +1,96 @@
+"""Socket front end: request routing, per-line errors, connection life."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.core.policies import LeastWorkLeftPolicy
+from repro.serve import DispatchServer
+from repro.serve.frontend import ServeFrontend
+
+
+def talk(tmp_path, lines):
+    """Run one client conversation over a Unix socket; returns replies."""
+
+    async def session():
+        core = DispatchServer(2, LeastWorkLeftPolicy(), strict=True)
+        frontend = ServeFrontend(core)
+        path = tmp_path / "serve.sock"
+        await frontend.start_unix(path)
+        try:
+            reader, writer = await asyncio.open_unix_connection(str(path))
+            replies = []
+            for line in lines:
+                writer.write(line if isinstance(line, bytes) else line.encode())
+                await writer.drain()
+                replies.append(json.loads(await reader.readline()))
+            writer.close()
+            await writer.wait_closed()
+            return replies, frontend
+        finally:
+            await frontend.close()
+
+    return asyncio.run(session())
+
+
+def req(**kw):
+    return json.dumps(kw) + "\n"
+
+
+class TestFrontend:
+    def test_submit_status_drain(self, tmp_path):
+        replies, frontend = talk(
+            tmp_path,
+            [
+                req(op="submit", size=2.0, arrival=0.0),
+                req(op="submit", size=1.0, arrival=1.0),
+                req(op="drain"),
+                req(op="status"),
+            ],
+        )
+        sub1, sub2, drain, status = replies
+        assert sub1 == {
+            "host": 0, "ok": True, "outcome": "admitted", "reason": "admit",
+        }
+        assert sub2["ok"] and sub2["outcome"] == "admitted"
+        assert drain["ok"]
+        assert drain["counters"]["completed"] == 2
+        assert drain["counters"]["in_flight"] == 0
+        doc = status["status"]
+        assert all(doc["invariant"].values())
+        assert frontend.requests == 4
+
+    def test_errors_do_not_tear_down_the_connection(self, tmp_path):
+        replies, _ = talk(
+            tmp_path,
+            [
+                "not json at all\n",
+                req(op="warp"),
+                req(op="submit", size="large"),
+                req(op="submit", size=-1.0, arrival=0.0),
+                req(op="submit", size=1.0, arrival=0.0),  # still works
+            ],
+        )
+        bad_json, bad_op, bad_type, bad_size, good = replies
+        assert not bad_json["ok"] and "invalid JSON" in bad_json["error"]
+        assert not bad_op["ok"] and "unknown op" in bad_op["error"]
+        assert not bad_type["ok"] and "numeric" in bad_type["error"]
+        assert not bad_size["ok"] and "positive" in bad_size["error"]
+        assert good["ok"] and good["outcome"] == "admitted"
+
+    def test_arrival_defaults_to_server_clock(self, tmp_path):
+        replies, _ = talk(
+            tmp_path,
+            [
+                req(op="submit", size=1.0, arrival=7.0),
+                req(op="submit", size=1.0),  # no arrival: server's now
+                req(op="status"),
+            ],
+        )
+        assert replies[0]["ok"] and replies[1]["ok"]
+        assert replies[2]["status"]["clock"] >= 7.0
+
+    def test_connection_counter_returns_to_zero(self, tmp_path):
+        _, frontend = talk(tmp_path, [req(op="status")])
+        assert frontend.connections == 0

@@ -1,0 +1,104 @@
+"""Circuit-breaker and health-monitor unit tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.health import BREAKER_STATES, CircuitBreaker, HealthMonitor
+
+
+class TestCircuitBreaker:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError, match="cooldown"):
+            CircuitBreaker(cooldown=0.0)
+
+    def test_starts_closed(self):
+        b = CircuitBreaker()
+        assert b.state(0.0) == "closed"
+        assert b.allows(0.0)
+
+    def test_trips_on_consecutive_failures_only(self):
+        b = CircuitBreaker(failure_threshold=2, cooldown=10.0)
+        b.record_failure(1.0)
+        b.record_success(2.0)  # resets the consecutive count
+        b.record_failure(3.0)
+        assert b.state(4.0) == "closed"
+        b.record_failure(4.0)
+        assert b.state(4.0) == "open"
+        assert not b.allows(4.0)
+        assert b.n_trips == 1
+
+    def test_cooldown_relaxes_to_half_open(self):
+        b = CircuitBreaker(failure_threshold=1, cooldown=10.0)
+        b.record_failure(0.0)
+        assert b.state(9.99) == "open"
+        assert b.state(10.0) == "half_open"
+        assert b.allows(10.0)
+
+    def test_half_open_success_closes(self):
+        b = CircuitBreaker(failure_threshold=1, cooldown=10.0)
+        b.record_failure(0.0)
+        b.record_success(10.0)
+        assert b.state(10.0) == "closed"
+        assert b.failures == 0
+
+    def test_half_open_failure_reopens_and_restarts_cooldown(self):
+        b = CircuitBreaker(failure_threshold=1, cooldown=10.0)
+        b.record_failure(0.0)
+        b.record_failure(10.0)  # trial failed
+        assert b.state(15.0) == "open"
+        assert b.state(20.0) == "half_open"
+        assert b.n_trips == 2
+
+    def test_open_ignores_stray_success(self):
+        # While open nothing is dispatched, so a "success" observation
+        # (e.g. a queued heartbeat) carries no information.
+        b = CircuitBreaker(failure_threshold=1, cooldown=10.0)
+        b.record_failure(0.0)
+        b.record_success(5.0)
+        assert b.state(5.0) == "open"
+
+    def test_states_constant_is_exhaustive(self):
+        assert set(BREAKER_STATES) == {"closed", "open", "half_open"}
+
+
+class TestHealthMonitor:
+    def make(self, n=3, **kw):
+        mon = HealthMonitor(**kw)
+        for i in range(n):
+            mon.register_host(i)
+        return mon
+
+    def test_duplicate_registration_rejected(self):
+        mon = self.make(1)
+        with pytest.raises(ValueError, match="already registered"):
+            mon.register_host(0)
+
+    def test_unregistered_host_raises_with_roster(self):
+        mon = self.make(2)
+        with pytest.raises(KeyError, match=r"never registered.*\[0, 1\]"):
+            mon.probe(7, True, 0.0)
+
+    def test_up_mask_follows_beliefs(self):
+        mon = self.make(3, failure_threshold=1, cooldown=50.0)
+        mon.probe(1, False, 0.0)
+        np.testing.assert_array_equal(
+            mon.up_mask(1.0), np.array([True, False, True])
+        )
+        # After the cooldown the breaker half-opens back into the mask.
+        np.testing.assert_array_equal(
+            mon.up_mask(50.0), np.array([True, True, True])
+        )
+
+    def test_status_document(self):
+        mon = self.make(2, failure_threshold=1)
+        mon.probe(0, True, 0.0)
+        mon.probe(1, False, 0.0)
+        doc = mon.status(1.0)
+        assert doc["0"]["state"] == "closed"
+        assert doc["0"]["observations"] == {"ok": 1, "failed": 0}
+        assert doc["1"]["state"] == "open"
+        assert doc["1"]["trips"] == 1

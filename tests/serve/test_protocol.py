@@ -1,0 +1,40 @@
+"""Newline-JSON wire protocol: encode/decode and rejection paths."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.protocol import MAX_LINE, ProtocolError, decode_line, encode
+
+
+class TestEncode:
+    def test_compact_sorted_newline_terminated(self):
+        line = encode({"b": 1, "a": 2})
+        assert line == b'{"a":2,"b":1}\n'
+
+    def test_roundtrip(self):
+        msg = {"op": "submit", "size": 1.5, "arrival": 2.0}
+        assert decode_line(encode(msg)) == msg
+
+
+class TestDecodeLine:
+    def test_rejects_over_long_line(self):
+        line = json.dumps({"op": "x", "pad": "y" * MAX_LINE}).encode()
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_line(line)
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(ProtocolError, match="invalid JSON"):
+            decode_line(b"{ nope\n")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_line(b"[1, 2]\n")
+
+    def test_rejects_missing_or_non_string_op(self):
+        with pytest.raises(ProtocolError, match="op"):
+            decode_line(b"{}\n")
+        with pytest.raises(ProtocolError, match="op"):
+            decode_line(b'{"op": 7}\n')

@@ -1,0 +1,129 @@
+"""Degraded-mode cutoff management: re-fit, validation, fallback."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.refit import CutoffManager, RefitRejected
+
+
+def bimodal_sizes(n, seed=0):
+    """A size mix with a clear short/long split (fit should succeed)."""
+    rng = np.random.default_rng(seed)
+    short = rng.uniform(0.5, 2.0, n)
+    long = rng.uniform(50.0, 200.0, n)
+    return np.where(rng.random(n) < 0.8, short, long)
+
+
+def fill(mgr, sizes, dt=30.0):
+    # dt=30 puts the window's estimated load near 0.45 for the bimodal
+    # mix (mean size ~26, 2 hosts) — inside the feasible-cutoff band.
+    due = False
+    for i, s in enumerate(sizes):
+        due = mgr.observe(float(s), i * dt)
+    return due
+
+
+class TestValidation:
+    def test_constructor_rejects_bad_config(self):
+        with pytest.raises(ValueError, match="initial cutoff"):
+            CutoffManager(0.0, 2)
+        with pytest.raises(ValueError, match="window"):
+            CutoffManager(1.0, 2, window=4)
+        with pytest.raises(ValueError, match="refit_every"):
+            CutoffManager(1.0, 2, window=8, refit_every=0)
+
+
+class TestObserve:
+    def test_not_due_until_window_full(self):
+        mgr = CutoffManager(5.0, 2, window=16, refit_every=4)
+        assert not fill(mgr, bimodal_sizes(15))
+        assert mgr.observe(1.0, 480.0)
+
+    def test_refit_cadence(self):
+        mgr = CutoffManager(5.0, 2, window=16, refit_every=4)
+        fill(mgr, bimodal_sizes(16))
+        mgr.refit()
+        # In the server's loop a due observation triggers refit(), which
+        # resets the cadence counter: every 4th observation is due.
+        due = []
+        for i in range(8):
+            d = mgr.observe(1.0, 1000.0 + 30.0 * i)
+            due.append(d)
+            if d:
+                mgr.refit()
+        assert due == [False, False, False, True, False, False, False, True]
+
+
+class TestRefit:
+    def test_clean_window_updates_cutoff(self):
+        mgr = CutoffManager(5.0, 2, window=64, refit_every=64)
+        fill(mgr, bimodal_sizes(64))
+        assert mgr.refit()
+        assert mgr.mode == "fitted"
+        assert mgr.cutoff != 5.0
+        assert mgr.last_known_good == mgr.cutoff
+        assert mgr.n_refits == 1
+        assert mgr.last_error is None
+
+    def test_unfittable_window_falls_back(self):
+        # Identical sizes: the cutoff search itself rejects the window
+        # (degenerate support), and the manager falls back rather than
+        # letting the exception escape into the dispatch path.
+        mgr = CutoffManager(5.0, 2, window=16, refit_every=16)
+        fill(mgr, np.full(16, 3.0))
+        assert not mgr.refit()
+        assert mgr.mode == "fallback"
+        assert mgr.cutoff == 5.0  # last-known-good preserved
+        assert mgr.last_error is not None
+        assert mgr.n_fallbacks == 1
+
+    def test_validate_rejects_degenerate_split(self):
+        # A cutoff below (or above) every observed size routes the whole
+        # window to one host — no SITA at all.
+        mgr = CutoffManager(5.0, 2, window=16, refit_every=16)
+        sizes = np.linspace(1.0, 10.0, 16)
+        with pytest.raises(RefitRejected, match="degenerate split"):
+            mgr._validate(0.5, sizes)
+        with pytest.raises(RefitRejected, match="degenerate split"):
+            mgr._validate(50.0, sizes)
+        mgr._validate(5.0, sizes)  # a real split passes
+
+    def test_zero_time_span_falls_back(self):
+        mgr = CutoffManager(5.0, 2, window=16, refit_every=16)
+        fill(mgr, bimodal_sizes(16), dt=0.0)
+        assert not mgr.refit()
+        assert mgr.mode == "fallback"
+        assert "zero simulated time" in mgr.last_error
+
+    def test_contaminated_window_falls_back_until_turnover(self):
+        mgr = CutoffManager(5.0, 2, window=16, refit_every=16)
+        fill(mgr, bimodal_sizes(16))
+        mgr.mark_contaminated()
+        assert mgr.contaminated
+        assert not mgr.refit()
+        assert mgr.mode == "fallback"
+        assert "contaminated" in mgr.last_error
+        # A full window of fresh observations clears the taint.
+        fill(mgr, bimodal_sizes(16, seed=1))
+        assert not mgr.contaminated
+        assert mgr.refit()
+        assert mgr.mode == "fitted"
+
+    def test_fallback_keeps_last_fitted_not_initial(self):
+        mgr = CutoffManager(5.0, 2, window=64, refit_every=64)
+        fill(mgr, bimodal_sizes(64))
+        assert mgr.refit()
+        fitted = mgr.cutoff
+        fill(mgr, np.full(64, 3.0), dt=1.0)
+        assert not mgr.refit()
+        assert mgr.cutoff == fitted
+
+    def test_status_document(self):
+        mgr = CutoffManager(5.0, 2, window=16, refit_every=16)
+        doc = mgr.status()
+        assert doc["mode"] == "initial"
+        assert doc["cutoff"] == 5.0
+        assert doc["window_fill"] == 0
+        assert not doc["contaminated"]

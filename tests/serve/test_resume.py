@@ -1,0 +1,145 @@
+"""Crash-safe resume: replay audit, tamper detection, real SIGKILL."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.policies import LeastWorkLeftPolicy
+from repro.serve import DispatchServer, OnlineDispatchError, SnapshotStore, serve_signature
+from repro.sim.faults import FaultModel
+
+
+def stream(n=300, seed=9):
+    rng = np.random.default_rng(seed)
+    arrivals = np.concatenate([[0.0], np.cumsum(rng.exponential(1.0, n - 1))])
+    sizes = rng.pareto(1.5, n) + 0.5
+    return list(zip(arrivals.tolist(), sizes.tolist()))
+
+
+def make_server(tmp_path, *, faults=None, snapshot_every=100):
+    store = SnapshotStore(tmp_path / "state.json", serve_signature("test-cfg"))
+    return DispatchServer(
+        2,
+        LeastWorkLeftPolicy(),
+        seed=4,
+        strict=True,
+        faults=faults,
+        heartbeat_interval=10.0,
+        snapshot_store=store,
+        snapshot_every=snapshot_every,
+    )
+
+
+class TestReplayResume:
+    def test_resume_reproduces_uninterrupted_counters(self, tmp_path):
+        jobs = stream(300)
+        reference = make_server(tmp_path / "ref").run_stream(jobs)
+
+        # "Crash" after 150 offered jobs: the snapshot at that point is
+        # on disk, the process state is gone.
+        crashed = make_server(tmp_path / "x", snapshot_every=150)
+        for arrival, size in jobs[:150]:
+            crashed.submit(size, arrival)
+        del crashed
+
+        resumed = make_server(tmp_path / "x", snapshot_every=150)
+        status = resumed.run_stream(jobs, resume=True)
+        assert status["counters"] == reference["counters"]
+        assert status["clock"] == reference["clock"]
+
+    def test_resume_without_snapshot_replays_from_scratch(self, tmp_path):
+        jobs = stream(100)
+        reference = make_server(tmp_path / "ref").run_stream(jobs)
+        fresh = make_server(tmp_path / "empty")
+        status = fresh.run_stream(jobs, resume=True)
+        assert status["counters"] == reference["counters"]
+
+    def test_resume_requires_a_store(self):
+        server = DispatchServer(2, LeastWorkLeftPolicy())
+        with pytest.raises(ValueError, match="snapshot store"):
+            server.run_stream([(0.0, 1.0)], resume=True)
+
+    def test_truncated_stream_refused(self, tmp_path):
+        jobs = stream(100)
+        server = make_server(tmp_path, snapshot_every=100)
+        server.run_stream(jobs)
+        resumed = make_server(tmp_path, snapshot_every=100)
+        with pytest.raises(OnlineDispatchError, match="only 50"):
+            resumed.run_stream(jobs[:50], resume=True)
+
+    def test_tampered_snapshot_fails_the_audit(self, tmp_path):
+        jobs = stream(100)
+        server = make_server(tmp_path, snapshot_every=50)
+        for arrival, size in jobs[:50]:
+            server.submit(size, arrival)
+        path = tmp_path / "state.json"
+        doc = json.loads(path.read_text())
+        doc["counters"]["completed"] += 1
+        path.write_text(json.dumps(doc))
+
+        resumed = make_server(tmp_path, snapshot_every=50)
+        with pytest.raises(OnlineDispatchError, match="resume audit failed"):
+            resumed.run_stream(jobs, resume=True)
+
+    def test_faulted_resume_is_bit_identical(self, tmp_path):
+        faults = FaultModel(mtbf=60.0, mttr=10.0, semantics="redispatch", seed=3)
+        jobs = stream(300, seed=2)
+        reference = make_server(tmp_path / "ref", faults=faults).run_stream(jobs)
+
+        crashed = make_server(tmp_path / "x", faults=faults, snapshot_every=100)
+        for arrival, size in jobs[:200]:
+            crashed.submit(size, arrival)
+        del crashed
+
+        resumed = make_server(tmp_path / "x", faults=faults, snapshot_every=100)
+        status = resumed.run_stream(jobs, resume=True)
+        assert status["counters"] == reference["counters"]
+        assert status["clock"] == reference["clock"]
+
+
+class TestRealSigkill:
+    """The CI soak in miniature: a real SIGKILL mid-run, then --resume."""
+
+    ARGS = [
+        "serve", "c90", "--policy", "lwl", "--hosts", "2", "--jobs", "800",
+        "--load", "0.7", "--seed", "5", "--mtbf", "50000", "--mttr", "5000",
+        "--fault-semantics", "redispatch", "--snapshot-every", "200",
+    ]
+
+    def run_cli(self, snapshot, extra=(), env_extra=None):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        env.pop("REPRO_SERVE_KILL_AFTER", None)
+        if env_extra:
+            env.update(env_extra)
+        return subprocess.run(
+            [sys.executable, "-m", "repro.cli", *self.ARGS,
+             "--snapshot", str(snapshot), *extra],
+            capture_output=True, text=True, env=env,
+            cwd=Path(__file__).resolve().parents[2],
+        )
+
+    def test_sigkill_then_resume_matches_reference(self, tmp_path):
+        ref = self.run_cli(tmp_path / "ref.json")
+        assert ref.returncode == 0, ref.stderr
+        reference = json.loads(ref.stdout)
+
+        killed = self.run_cli(
+            tmp_path / "state.json", env_extra={"REPRO_SERVE_KILL_AFTER": "2"}
+        )
+        assert killed.returncode == -signal.SIGKILL or killed.returncode == 137
+
+        resumed = self.run_cli(tmp_path / "state.json", extra=["--resume"])
+        assert resumed.returncode == 0, resumed.stderr
+        status = json.loads(resumed.stdout)
+        assert status["counters"] == reference["counters"]
+        assert status["clock"] == reference["clock"]
+        assert all(status["invariant"].values())

@@ -1,0 +1,64 @@
+"""Atomic snapshot store: write discipline and load rejection."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.snapshot import SNAPSHOT_VERSION, SnapshotStore, serve_signature
+
+
+@pytest.fixture
+def store(tmp_path):
+    return SnapshotStore(tmp_path / "state.json", serve_signature("cfg-a"))
+
+
+class TestSignature:
+    def test_stable_and_distinct(self):
+        assert serve_signature("x") == serve_signature("x")
+        assert serve_signature("x") != serve_signature("y")
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, store):
+        store.save({"accepted": 7, "clock": 1.5})
+        doc = store.load()
+        assert doc["accepted"] == 7
+        assert doc["clock"] == 1.5
+        assert doc["version"] == SNAPSHOT_VERSION
+        assert store.writes == 1
+
+    def test_no_tmp_file_left_behind(self, store, tmp_path):
+        store.save({"accepted": 1})
+        assert [p.name for p in tmp_path.iterdir()] == ["state.json"]
+
+    def test_overwrite_keeps_latest(self, store):
+        store.save({"accepted": 1})
+        store.save({"accepted": 2})
+        assert store.load()["accepted"] == 2
+
+    def test_missing_file_loads_none(self, store):
+        assert store.load() is None
+
+    def test_corrupt_file_loads_none(self, store):
+        store.path.write_text("{ not json")
+        assert store.load() is None
+
+    def test_non_dict_loads_none(self, store):
+        store.path.write_text("[1, 2, 3]")
+        assert store.load() is None
+
+    def test_wrong_version_loads_none(self, store):
+        store.save({"accepted": 1})
+        doc = json.loads(store.path.read_text())
+        doc["version"] = SNAPSHOT_VERSION + 1
+        store.path.write_text(json.dumps(doc))
+        assert store.load() is None
+
+    def test_stale_signature_loads_none(self, store, tmp_path):
+        store.save({"accepted": 1})
+        other = SnapshotStore(tmp_path / "state.json", serve_signature("cfg-b"))
+        assert other.load() is None
+        # The original still accepts it.
+        assert store.load() is not None

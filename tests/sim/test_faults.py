@@ -375,3 +375,123 @@ class TestLivelockDiagnosis:
         server = DistributedServer(1, RandomPolicy(), rng=0, faults=faults)
         with pytest.raises(RuntimeError, match="availability"):
             server.run_trace(trace)
+
+class TestMassRepairDrain:
+    """All hosts down: deferred arrivals drain FCFS at the first repair."""
+
+    def test_deferred_queue_drains_fcfs(self):
+        # Both hosts crash at t=100 (deterministic draws) and repair at
+        # t=150.  J0 anchors the trace at t=0 (arrivals are normalised to
+        # the first arrival); J1..J3 arrive at 110/120/130 with every
+        # host down and are held at the dispatcher.  Host 0's repair is
+        # scheduled before host 1's (same timestamp, lower sequence
+        # number), so the flush sees up=[True, False] and drains the
+        # whole deferred queue FCFS onto host 0: J1 runs [150,160),
+        # J2 [160,180), J3 [180,210) -> waits 40/40/50.
+        faults = FaultModel(
+            mtbf=100.0, mttr=50.0, semantics="resume",
+            distribution="deterministic",
+        )
+        trace = Trace([0.0, 110.0, 120.0, 130.0], [1.0, 10.0, 20.0, 30.0])
+        server = DistributedServer(
+            2, LeastWorkLeftPolicy(), rng=0, strict=True, faults=faults
+        )
+        result = server.run_trace(trace)
+        assert result.wait_times == pytest.approx([0.0, 40.0, 40.0, 50.0])
+        assert list(result.host_assignments) == [0, 0, 0, 0]
+        assert result.n_failures == 2
+        assert result.host_downtime == pytest.approx(100.0)
+
+    def test_drain_order_is_arrival_order(self):
+        # FCFS property in isolation: with identical sizes the start
+        # times (wait + arrival) of the deferred jobs must be
+        # non-decreasing in arrival order.
+        faults = FaultModel(
+            mtbf=100.0, mttr=50.0, semantics="resume",
+            distribution="deterministic",
+        )
+        arrivals = [0.0] + [105.0 + 5.0 * i for i in range(8)]
+        trace = Trace(arrivals, [1.0] * 9)
+        server = DistributedServer(
+            2, LeastWorkLeftPolicy(), rng=0, strict=True, faults=faults
+        )
+        result = server.run_trace(trace)
+        starts = np.asarray(arrivals) + np.asarray(result.wait_times)
+        assert np.all(np.diff(starts[1:]) >= 0)
+
+
+class TestAllUpBitIdentity:
+    """choose_live_host(all-up) is bit-identical to choose_host for every
+    per-job policy (satellite: 'every breaker closed' reduces to the
+    fault-free dispatcher, RNG draws included)."""
+
+    POLICIES = [
+        RandomPolicy,
+        RoundRobinPolicy,
+        ShortestQueuePolicy,
+        LeastWorkLeftPolicy,
+        lambda: SITAPolicy([2.0, 10.0, 40.0], name="sita"),
+        lambda: GroupedSITAPolicy(cutoff=2.0, n_short_hosts=2),
+    ]
+
+    @pytest.mark.parametrize("policy_fn", POLICIES)
+    def test_sequence_identical(self, policy_fn):
+        rng = np.random.default_rng(11)
+        states = [
+            FakeState(rng.integers(0, 6, 4), rng.uniform(0.0, 9.0, 4))
+            for _ in range(40)
+        ]
+        sizes = rng.pareto(1.5, 40) + 0.5
+        a, b = policy_fn(), policy_fn()
+        a.reset(4, np.random.default_rng(3))
+        b.reset(4, np.random.default_rng(3))
+        up = np.ones(4, dtype=bool)
+        for i, (state, size) in enumerate(zip(states, sizes)):
+            job = Job(index=i, arrival_time=float(i), size=float(size))
+            assert a.choose_host(job, state) == b.choose_live_host(job, state, up)
+
+
+class TestScheduleIntrospection:
+    """Satellite: explicit fault-schedule state + attach-time validation."""
+
+    def test_disabled_state(self):
+        inj = FaultInjector(FaultModel(mtbf=math.inf, mttr=1.0), n_hosts=2)
+        status = inj.schedule_status()
+        assert status["state"] == "disabled"
+        assert status["total_crashes"] == 0
+
+    def test_unattached_state(self):
+        inj = FaultInjector(FaultModel(mtbf=5.0, mttr=1.0), n_hosts=2)
+        assert inj.schedule_status()["state"] == "unattached"
+
+    def test_active_state_and_down_now(self):
+        faults = FaultModel(
+            mtbf=4.0, mttr=1000.0, hosts=(0,), semantics="lost",
+            distribution="deterministic",
+        )
+        trace = Trace([0.0, 0.5], [10.0, 3.0])
+        server = DistributedServer(2, CentralQueuePolicy(), rng=0, faults=faults)
+        server.run_trace(trace)
+        status = server.fault_injector.schedule_status()
+        assert status["state"] == "active"
+        assert status["targets"] == [0]
+        # Host 0 crashed at t=4 and its 1000s repair is still open.
+        assert status["down_now"] == [0]
+        assert status["crashes"] == {0: 1}
+
+    def test_attach_rejects_unregistered_host(self):
+        # Constructed against 4 hosts, attached to a 2-host server: the
+        # out-of-range targets must fail loudly, not silently never crash.
+        inj = FaultInjector(
+            FaultModel(mtbf=5.0, mttr=1.0, hosts=(0, 3)), n_hosts=4
+        )
+        server = DistributedServer(2, RandomPolicy(), rng=0)
+        with pytest.raises(ValueError, match="registered only hosts 0..1"):
+            inj.attach(server)
+
+    def test_double_attach_rejected(self):
+        inj = FaultInjector(FaultModel(mtbf=5.0, mttr=1.0), n_hosts=1)
+        server = DistributedServer(1, RandomPolicy(), rng=0)
+        inj.attach(server)
+        with pytest.raises(RuntimeError, match="already attached"):
+            inj.attach(server)
