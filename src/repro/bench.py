@@ -35,8 +35,12 @@ Schema (``schema_version`` 2)::
         {"name": "experiment.fig2.parallel", "wall_s": …,
          "speedup_vs_serial": …},
         {"name": "serve.dispatch", "wall_s": …, "n_jobs": …,
-         "decisions_per_s": …, "latency_p50_us": …, "latency_p95_us": …,
-         "latency_p99_us": …, "availability": …}, …
+         "batch_size": …, "fast_path_engaged": true,
+         "decisions_per_s": …, "speedup_vs_pr8": …,
+         "latency_p50_us": …, "latency_p95_us": …, "latency_p99_us": …,
+         "intake_ms": …, "route_ms": …, "commit_ms": …},
+        {"name": "serve.dispatch.batch", "batch_size": …, …},
+        {"name": "serve.dispatch.faulted", "availability": …, …}, …
       ]
     }
 
@@ -308,51 +312,122 @@ def _bench_sweep(scale: float, workers: int) -> list[dict]:
     ]
 
 
-def _bench_serve(quick: bool) -> list[dict]:
-    """Online dispatcher decision throughput under a seeded fault model.
+#: ``serve.dispatch`` ``decisions_per_s`` from the committed PR 8
+#: baseline (BENCH_2026-08-08.json before the fast path landed), kept as
+#: a constant because each bench run overwrites the same-day file.  The
+#: ≥50x CI smoke assertion and the ``speedup_vs_pr8`` field both anchor
+#: on this number.
+PR8_DISPATCH_BASELINE = 1264.4323422617022
 
-    Drives one C90 stream through :class:`repro.serve.DispatchServer`
-    with a ~91%-availability re-dispatch fault model — the serve path's
-    realistic worst case: breakers tripping, retries backing off,
-    deferred flushes on repair — and records the per-decision wall-clock
-    latency percentiles the server already measures for its status
-    endpoint.  The accounting invariant is asserted, so the baseline
-    doubles as a soak in miniature.
+
+def _serve_stream(n_jobs: int) -> list[tuple[float, float]]:
+    """The C90 stream every serve bench drives (PR 8's exact workload)."""
+    from .workloads.catalog import get_workload
+
+    trace = get_workload("c90").make_trace(load=0.7, n_hosts=4, n_jobs=n_jobs, rng=7)
+    t0 = float(trace.arrival_times[0])
+    return [
+        (float(a) - t0, float(s))
+        for a, s in zip(trace.arrival_times, trace.service_times)
+    ]
+
+
+def _bench_serve(quick: bool) -> list[dict]:
+    """Online dispatcher decision throughput, fast path and engine path.
+
+    Three entry families over the same seeded C90 stream PR 8 measured:
+
+    * ``serve.dispatch`` — the fault-free batched fast path, with
+      per-stage wall-clock (intake / route / commit) and
+      ``speedup_vs_pr8`` against the committed PR 8 baseline
+      (:data:`PR8_DISPATCH_BASELINE`);
+    * ``serve.dispatch.batch`` — a batch-size sweep showing where the
+      per-call overhead amortises;
+    * ``serve.dispatch.faulted`` — PR 8's exact configuration (a
+      ~91%-availability re-dispatch fault model, so the engine path with
+      breakers tripping and retries backing off), keeping the original
+      trajectory comparable.
+
+    Decision latency percentiles exclude admission/intake wait — the two
+    stages are recorded separately (see
+    :meth:`repro.serve.DispatchServer.latency_summary`).  The accounting
+    invariant is asserted on every run, so the baseline doubles as a
+    soak in miniature.
     """
     from .core.policies import LeastWorkLeftPolicy
     from .serve import DispatchServer, HealthMonitor
     from .sim.faults import FaultModel
-    from .workloads.catalog import get_workload
 
     n_jobs = 2_000 if quick else 20_000
-    trace = get_workload("c90").make_trace(load=0.7, n_hosts=4, n_jobs=n_jobs, rng=7)
-    t0 = float(trace.arrival_times[0])
-    jobs = [
-        (float(a) - t0, float(s))
-        for a, s in zip(trace.arrival_times, trace.service_times)
-    ]
-    faults = FaultModel(mtbf=20_000.0, mttr=2_000.0, semantics="redispatch", seed=3)
-    server = DispatchServer(
-        4,
-        LeastWorkLeftPolicy(),
-        seed=1,
-        faults=faults,
-        heartbeat_interval=faults.mttr,
-        health=HealthMonitor(cooldown=faults.mttr / 2),
-    )
-    start = time.perf_counter()
-    status = server.run_stream(jobs)
-    wall = time.perf_counter() - start
-    if not all(status["invariant"].values()):
-        raise AssertionError(
-            f"serve bench broke the accounting invariant: {status['counters']}"
-        )
+    jobs = _serve_stream(n_jobs)
+
+    def run(batch_size: int, faults: FaultModel | None) -> tuple[dict, float]:
+        kwargs: dict = {}
+        if faults is not None:
+            kwargs = {
+                "faults": faults,
+                "heartbeat_interval": faults.mttr,
+                "health": HealthMonitor(cooldown=faults.mttr / 2),
+            }
+        server = DispatchServer(4, LeastWorkLeftPolicy(), seed=1, **kwargs)
+        start = time.perf_counter()
+        status = server.run_stream(jobs, batch_size=batch_size)
+        wall = time.perf_counter() - start
+        if not all(status["invariant"].values()):
+            raise AssertionError(
+                f"serve bench broke the accounting invariant: "
+                f"{status['counters']}"
+            )
+        return status, wall
+
+    entries: list[dict] = []
+    status, wall = run(batch_size=1024, faults=None)
     lat = status["latency"]
-    return [
+    entries.append(
         {
             "name": "serve.dispatch",
             "wall_s": wall,
             "n_jobs": n_jobs,
+            "batch_size": 1024,
+            "fast_path_engaged": status["fast_path"]["engaged"],
+            "decisions_per_s": lat["decisions_per_s"],
+            "speedup_vs_pr8": lat["decisions_per_s"] / PR8_DISPATCH_BASELINE,
+            "latency_p50_us": lat["p50_us"],
+            "latency_p95_us": lat["p95_us"],
+            "latency_p99_us": lat["p99_us"],
+            "intake_ms": lat["stages"]["intake_ms"],
+            "route_ms": lat["stages"]["route_ms"],
+            "commit_ms": lat["stages"]["commit_ms"],
+            "invariant_holds": True,
+        }
+    )
+    for batch_size in (1, 16, 256):
+        status, wall = run(batch_size=batch_size, faults=None)
+        lat = status["latency"]
+        entries.append(
+            {
+                "name": "serve.dispatch.batch",
+                "wall_s": wall,
+                "n_jobs": n_jobs,
+                "batch_size": batch_size,
+                "fast_path_engaged": status["fast_path"]["engaged"],
+                "decisions_per_s": lat["decisions_per_s"],
+                "latency_p50_us": lat["p50_us"],
+                "latency_p95_us": lat["p95_us"],
+                "latency_p99_us": lat["p99_us"],
+                "invariant_holds": True,
+            }
+        )
+    faults = FaultModel(mtbf=20_000.0, mttr=2_000.0, semantics="redispatch", seed=3)
+    status, wall = run(batch_size=1, faults=faults)
+    lat = status["latency"]
+    entries.append(
+        {
+            "name": "serve.dispatch.faulted",
+            "wall_s": wall,
+            "n_jobs": n_jobs,
+            "batch_size": 1,
+            "fast_path_engaged": status["fast_path"]["engaged"],
             "decisions_per_s": lat["decisions_per_s"],
             "latency_p50_us": lat["p50_us"],
             "latency_p95_us": lat["p95_us"],
@@ -361,7 +436,8 @@ def _bench_serve(quick: bool) -> list[dict]:
             "crashes": status["counters"]["crashes"],
             "invariant_holds": True,
         }
-    ]
+    )
+    return entries
 
 
 def _numba_version() -> str | None:
@@ -397,7 +473,9 @@ def run_benchmarks(
     n_kernel = 20_000 if quick else 200_000
     n_backend = 5_000 if quick else 20_000
     repeats = 1 if quick else 3
-    sweep_scale = scale if scale is not None else (0.05 if quick else 0.25)
+    # Full paper scale by default (scale 1.0 = the experiment sizes the
+    # figures are reproduced at); --quick keeps the CI smoke tiny.
+    sweep_scale = scale if scale is not None else (0.05 if quick else 1.0)
     entries: list[dict] = []
     entries += _bench_kernels(n_kernel, repeats)
     entries += _bench_engine_vs_fast(n_backend, repeats)
@@ -445,7 +523,7 @@ def render(doc: dict) -> str:
             )
         for key in ("speedup_vs_event", "speedup_vs_loop",
                     "speedup_vs_unshared", "speedup_vs_serial",
-                    "speedup_vs_python"):
+                    "speedup_vs_python", "speedup_vs_pr8"):
             if e.get(key):
                 extra.append(f"{e[key]:.2f}x {key.split('_vs_')[1]}")
         label = e["name"]

@@ -34,8 +34,9 @@ Subcommands
     per-host circuit breakers, jittered-backoff retries, crash-safe
     snapshots with deterministic ``--resume``, and (``--refit``)
     degraded-mode SITA cutoff re-fitting; drives a seeded stream by
-    default, or serves newline-JSON over ``--socket``/``--tcp`` (see
-    ``docs/ROBUSTNESS.md``).
+    default (batched through the fault-free fast path, ``--batch-size``,
+    see ``docs/PERFORMANCE.md``), or serves newline-JSON over
+    ``--socket``/``--tcp`` (see ``docs/ROBUSTNESS.md``).
 ``repro bench [--quick] [--workers N] [--out PATH]``
     Performance baseline harness: time the simulation kernels, the
     event engine vs the fast path, the shared-computation cutoff-search

@@ -98,6 +98,29 @@ class AdmissionController:
         self.n_admitted += 1
         return "admit"
 
+    def unlimited(self) -> bool:
+        """True when every offer is guaranteed to be admitted.
+
+        An infinite-rate bucket never touches its refill state and the
+        backlog check is a pure function of the deferred depth the
+        dispatcher passes in, so with ``rate == inf`` a caller holding an
+        empty deferred queue may admit a whole batch via
+        :meth:`admit_batch` with the exact per-job outcomes.
+        """
+        return math.isinf(self.bucket.rate)
+
+    def admit_batch(self, count: int) -> None:
+        """Record ``count`` admissions at once (fast-path bulk intake).
+
+        Only valid when :meth:`unlimited` is true and the deferred queue
+        is empty — i.e. when ``count`` consecutive :meth:`admit` calls
+        would all have returned ``"admit"`` without touching any other
+        state.
+        """
+        if not self.unlimited():
+            raise ValueError("admit_batch requires an unlimited bucket")
+        self.n_admitted += int(count)
+
     def status(self) -> dict:
         return {
             "admitted": self.n_admitted,

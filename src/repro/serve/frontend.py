@@ -30,8 +30,14 @@ __all__ = ["ServeFrontend"]
 class ServeFrontend:
     """Serve a :class:`DispatchServer` over a Unix or TCP socket."""
 
-    def __init__(self, core: DispatchServer) -> None:
+    def __init__(self, core: DispatchServer, max_batch: int = 4096) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         self._core = core
+        #: largest ``submit_batch`` request accepted over the wire; a
+        #: bound on per-request work under the lock, not on throughput
+        #: (clients chunk larger streams).
+        self.max_batch = int(max_batch)
         self._lock = asyncio.Lock()
         self._server: asyncio.AbstractServer | None = None
         self.connections = 0
@@ -136,6 +142,38 @@ class ServeFrontend:
                     float(size), float(arrival), size_estimate=estimate
                 )
                 return {"ok": True, **record}
+            if op == "submit_batch":
+                jobs = msg.get("jobs")
+                if not isinstance(jobs, list) or not jobs:
+                    raise ProtocolError(
+                        "submit_batch requires a non-empty 'jobs' list of "
+                        "[arrival, size] or [arrival, size, estimate] rows"
+                    )
+                if len(jobs) > self.max_batch:
+                    raise ProtocolError(
+                        f"batch of {len(jobs)} exceeds max_batch "
+                        f"{self.max_batch}"
+                    )
+                arrivals: list[float] = []
+                sizes: list[float] = []
+                estimates: list[float] = []
+                for row in jobs:
+                    if (
+                        not isinstance(row, list)
+                        or len(row) not in (2, 3)
+                        or not all(isinstance(x, (int, float)) for x in row)
+                    ):
+                        raise ProtocolError(
+                            "each job must be [arrival, size] or "
+                            "[arrival, size, estimate] with numeric entries"
+                        )
+                    arrivals.append(float(row[0]))
+                    sizes.append(float(row[1]))
+                    estimates.append(float(row[2] if len(row) == 3 else row[1]))
+                records = self._core.submit_batch(
+                    arrivals, sizes, estimates, collect=True
+                )
+                return {"ok": True, "results": records}
             if op == "status":
                 return {"ok": True, "status": self._core.status()}
             if op == "drain":

@@ -22,9 +22,18 @@ as one circuit breaker per host, with the classical three states:
 Everything is a pure function of the observation sequence and the clock
 passed in by the caller, so the layer is deterministic under the event
 engine's virtual time and trivially unit-testable.
+
+The dispatch mask is cached: as a function of time it is piecewise
+constant, changing only when an observation moves a breaker's routing
+state or when the clock crosses an open breaker's cooldown expiry, so
+:meth:`HealthMonitor.up_mask` rebuilds the array only at those points
+and hands out one read-only ndarray in between (the dispatcher calls it
+per decision).
 """
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 
@@ -117,6 +126,17 @@ class HealthMonitor:
         self.failure_threshold = failure_threshold
         self.cooldown = float(cooldown)
         self._breakers: dict[int, CircuitBreaker] = {}
+        #: bumped only when an observation (or a registration) changes a
+        #: breaker's *routing* state — ``failures``/``opened_at`` — never
+        #: on the success counters, so the per-handoff success probes the
+        #: dispatcher feeds back do not thrash the caches below.
+        self._obs_version = 0
+        self._mask_cache: np.ndarray | None = None
+        self._mask_version = -1
+        self._mask_built_at = 0.0
+        self._mask_valid_until = 0.0
+        self._pristine_version = -1
+        self._pristine_cache = True
 
     # ------------------------------------------------------------------
     # registration
@@ -128,6 +148,7 @@ class HealthMonitor:
         self._breakers[host_id] = CircuitBreaker(
             failure_threshold=self.failure_threshold, cooldown=self.cooldown
         )
+        self._obs_version += 1
 
     @property
     def host_ids(self) -> tuple[int, ...]:
@@ -149,19 +170,68 @@ class HealthMonitor:
     def probe(self, host_id: int, healthy: bool, now: float) -> None:
         """Fold one observation (heartbeat or handoff outcome) in."""
         breaker = self.breaker(host_id)
+        before = (breaker.failures, breaker.opened_at)
         if healthy:
             breaker.record_success(now)
         else:
             breaker.record_failure(now)
+        if (breaker.failures, breaker.opened_at) != before:
+            self._obs_version += 1
 
     # ------------------------------------------------------------------
     # the dispatch mask
     # ------------------------------------------------------------------
 
     def up_mask(self, now: float) -> np.ndarray:
-        """Believed-live mask over hosts 0..n-1 (closed or half-open)."""
+        """Believed-live mask over hosts 0..n-1 (closed or half-open).
+
+        The returned array is **read-only** and shared between calls:
+        it is rebuilt only when an observation changed a breaker's
+        routing state, or when ``now`` leaves the window over which the
+        cached mask is provably constant — ``[built_at, valid_until)``
+        where ``valid_until`` is the earliest cooldown expiry among
+        breakers that were open at build time (open → half-open is the
+        only transition the clock alone can cause).
+        """
+        mask = self._mask_cache
+        if (
+            mask is not None
+            and self._mask_version == self._obs_version
+            and self._mask_built_at <= now < self._mask_valid_until
+        ):
+            return mask
         ids = self.host_ids
-        return np.array([self._breakers[i].allows(now) for i in ids], dtype=bool)
+        mask = np.array([self._breakers[i].allows(now) for i in ids], dtype=bool)
+        mask.setflags(write=False)
+        valid_until = math.inf
+        for b in self._breakers.values():
+            if b.opened_at is not None:
+                reopen = b.opened_at + b.cooldown
+                if now < reopen:
+                    valid_until = min(valid_until, reopen)
+        self._mask_cache = mask
+        self._mask_version = self._obs_version
+        self._mask_built_at = now
+        self._mask_valid_until = valid_until
+        return mask
+
+    def pristine(self) -> bool:
+        """True when no breaker holds *any* failure evidence.
+
+        Stronger than ``up_mask(now).all()``: a closed breaker with
+        sub-threshold consecutive failures still allows dispatch but is
+        not pristine.  The fault-free fast path keys its engagement off
+        this — any failure evidence at all means the engine path must
+        watch the breakers evolve.  Cached on the observation version,
+        so the per-handoff success probes cost one integer compare.
+        """
+        if self._pristine_version != self._obs_version:
+            self._pristine_cache = all(
+                b.opened_at is None and b.failures == 0
+                for b in self._breakers.values()
+            )
+            self._pristine_version = self._obs_version
+        return self._pristine_cache
 
     def states(self, now: float) -> dict[int, str]:
         return {i: b.state(now) for i, b in sorted(self._breakers.items())}

@@ -40,6 +40,13 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--hosts", type=int, default=2, help="number of hosts")
     parser.add_argument("--jobs", type=int, default=10_000, help="stream length")
     parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    parser.add_argument(
+        "--batch-size", type=int, default=256, metavar="N",
+        help=(
+            "feed the driver stream through submit_batch in chunks of N "
+            "(1 = scalar submits; decisions are identical either way)"
+        ),
+    )
 
     fault = parser.add_argument_group("fault model")
     fault.add_argument(
@@ -243,8 +250,13 @@ def run_from_args(args: argparse.Namespace) -> int:
     core = build_server(args)
     if args.socket or args.tcp:
         return _run_socket(core, args)
+    if args.batch_size < 1:
+        print("error: --batch-size must be >= 1", file=sys.stderr)
+        return 2
     try:
-        status = core.run_stream(_make_stream(args), resume=args.resume)
+        status = core.run_stream(
+            _make_stream(args), resume=args.resume, batch_size=args.batch_size
+        )
     except OnlineDispatchError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

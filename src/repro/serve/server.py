@@ -61,6 +61,7 @@ from ..sim.jobs import Job
 from ..sim.metrics import jain_fairness_index
 from ..sim.server import DistributedServer
 from .admission import AdmissionController
+from .fastpath import FastPathState, fast_path_mode
 from .health import HealthMonitor
 from .refit import CutoffManager
 from .snapshot import SnapshotStore
@@ -261,6 +262,14 @@ class DispatchServer:
     snapshot_store, snapshot_every:
         Crash-safe accounting; a snapshot is written every
         ``snapshot_every``-th offered job and once more on drain.
+    fast_path:
+        Allow the fault-free fast path (:mod:`repro.serve.fastpath`) to
+        engage.  It engages at construction when no fault model is
+        attached and the policy has a fast-path mode, and *disengages
+        permanently* — handing the exact engine state over — the moment
+        any breaker records failure evidence.  Decisions, counters and
+        per-job fields are bit-identical either way; set ``False`` to
+        force the event path (the bit-identity suite does exactly that).
     """
 
     def __init__(
@@ -282,6 +291,7 @@ class DispatchServer:
         backoff_mult: float = 2.0,
         snapshot_store: SnapshotStore | None = None,
         snapshot_every: int = 1000,
+        fast_path: bool = True,
     ) -> None:
         kind = getattr(policy, "kind", None)
         if kind not in ("static", "state"):
@@ -326,11 +336,39 @@ class DispatchServer:
         self.n_rejected_intake = 0
         self._next_index = 0
         self._replaying = False
-        self._latency_ns: list[int] = []
+        #: per-call (nanoseconds, decisions) pairs for the two stages the
+        #: latency histogram keeps apart: intake (validation + engine
+        #: advance + admission) and decision (routing + commit).
+        self._intake_ns: list[tuple[int, int]] = []
+        self._decision_ns: list[tuple[int, int]] = []
+        self._route_ns = 0
+        self._commit_ns = 0
         self._deferred_peak = 0
         if self._inner.fault_injector is not None:
             self._inner.fault_injector.attach(self._inner)
-        self._inner.sim.schedule_after(self.heartbeat_interval, self._heartbeat)
+        self._fastpath: FastPathState | None = None
+        mode = fast_path_mode(policy) if fast_path else None
+        if mode is not None and self._inner.fault_injector is None:
+            self._fastpath = FastPathState(
+                n_hosts,
+                [h.speed for h in self._inner.hosts],
+                mode,
+                policy,
+            )
+        self._fastpath_stats = {
+            "engaged": self._fastpath is not None,
+            "mode": mode if self._fastpath is not None else None,
+            "handovers": 0,
+            "decisions": 0,
+        }
+        if self._fastpath is None:
+            # Engaged servers suspend the heartbeat chain: with no fault
+            # model and pristine breakers every probe is a success that
+            # cannot change routing state.  ``_handover`` resumes the
+            # chain at the exact epoch the engine path would be on.
+            self._inner.sim.schedule_after(
+                self.heartbeat_interval, self._heartbeat
+            )
 
     @staticmethod
     def _check_refittable(policy) -> None:
@@ -402,12 +440,29 @@ class DispatchServer:
                 f"arrivals must be non-decreasing: got {now} at server "
                 f"time {sim.now}"
             )
+        fp = self._fastpath
+        if fp is not None and not self.health.pristine():
+            self._handover()
+            fp = None
         sim.run(until=now)
         self.n_accepted += 1
         decision = self.admission.admit(now, len(self._inner._deferred))
+        t1 = time.perf_counter_ns()
         if decision != "admit":
             self.n_rejected_intake += 1
             record = {"outcome": "rejected", "reason": decision, "host": None}
+        elif fp is not None:
+            mgr = self.cutoff_manager
+            if mgr is not None and mgr.observe(float(size), now):
+                if mgr.refit():
+                    self._apply_cutoff(mgr.cutoff)
+            self._next_index += 1
+            host = fp.route_one(
+                now,
+                float(size),
+                float(size if size_estimate is None else size_estimate),
+            )
+            record = {"outcome": "admitted", "reason": "admit", "host": host}
         else:
             job = Job(
                 index=self._next_index,
@@ -427,8 +482,11 @@ class DispatchServer:
                 "reason": "admit",
                 "host": job.assigned_host,
             }
+        t2 = time.perf_counter_ns()
+        self._intake_ns.append((t1 - t0, 1))
+        self._decision_ns.append((t2 - t1, 1))
+        self._route_ns += t2 - t1
         self._deferred_peak = max(self._deferred_peak, len(self._inner._deferred))
-        self._latency_ns.append(time.perf_counter_ns() - t0)
         if (
             self.snapshot_store is not None
             and not self._replaying
@@ -437,6 +495,157 @@ class DispatchServer:
         ):
             self._write_snapshot()
         return record
+
+    def submit_batch(
+        self,
+        arrivals: Sequence[float] | np.ndarray,
+        sizes: Sequence[float] | np.ndarray,
+        size_estimates: Sequence[float] | np.ndarray | None = None,
+        collect: bool = False,
+    ) -> list[dict] | int:
+        """Offer a whole arrival batch at once (vectorized intake).
+
+        Outcome-equivalent to calling :meth:`submit` once per job in
+        order — the bit-identity and batch-invariance tests assert it —
+        but the fault-free fast path admits and routes the batch through
+        one kernel call instead of ``n`` Python round-trips.  When the
+        batch cannot be bulk-processed exactly (engine path, finite-rate
+        admission, online re-fit windows), it transparently degrades to
+        the scalar loop.
+
+        Validation is **atomic**: the batch is checked up front and the
+        first offending job raises the exception :meth:`submit` would
+        have raised, with *no* state change — whereas the scalar loop
+        would have processed the jobs preceding the offender.  That is
+        the one deliberate semantic difference, and it only exists on
+        erroneous input.
+
+        Returns the number of jobs offered, or the per-job decision
+        records (in offer order) when ``collect=True``.
+        """
+        t0 = time.perf_counter_ns()
+        t = np.ascontiguousarray(arrivals, dtype=np.float64)
+        s = np.ascontiguousarray(sizes, dtype=np.float64)
+        if t.ndim != 1 or s.shape != t.shape:
+            raise ValueError(
+                f"arrivals and sizes must be 1-D of equal length, got "
+                f"shapes {t.shape} and {s.shape}"
+            )
+        if size_estimates is None:
+            e = s
+        else:
+            e = np.ascontiguousarray(size_estimates, dtype=np.float64)
+            if e.shape != t.shape:
+                raise ValueError(
+                    f"size_estimates must match arrivals, got shapes "
+                    f"{e.shape} and {t.shape}"
+                )
+        n = int(t.shape[0])
+        if n == 0:
+            return [] if collect else 0
+        bad = ~(np.isfinite(s) & (s > 0))
+        if bad.any():
+            k = int(np.flatnonzero(bad)[0])
+            raise ValueError(
+                f"job size must be positive and finite, got {s[k]}"
+            )
+        sim = self._inner.sim
+        if float(t[0]) < sim.now:
+            raise ValueError(
+                f"arrivals must be non-decreasing: got {float(t[0])} at "
+                f"server time {sim.now}"
+            )
+        unordered = np.flatnonzero(np.diff(t) < 0)
+        if unordered.size:
+            k = int(unordered[0])
+            raise ValueError(
+                f"arrivals must be non-decreasing: got {float(t[k + 1])} "
+                f"at server time {float(t[k])}"
+            )
+        fp = self._fastpath
+        if fp is not None and not self.health.pristine():
+            self._handover()
+            fp = None
+        if (
+            fp is None
+            or self.cutoff_manager is not None
+            or not self.admission.unlimited()
+        ):
+            # Per-job admission state, re-fit windows or engine
+            # interleavings are in play: the scalar loop is the
+            # semantics, so use it.
+            if collect:
+                return [
+                    self.submit(float(s[j]), float(t[j]), float(e[j]))
+                    for j in range(n)
+                ]
+            for j in range(n):
+                self.submit(float(s[j]), float(t[j]), float(e[j]))
+            return n
+        t1 = time.perf_counter_ns()
+        self._intake_ns.append((t1 - t0, n))
+        store = self.snapshot_store
+        if store is not None and (self._replaying or self.snapshot_every <= 0):
+            store = None
+        route_ns = 0
+        pos = 0
+        while pos < n:
+            end = n
+            if store is not None:
+                # Stop each chunk on the snapshot cadence so resume sees
+                # the same every-k-offers checkpoints as the scalar path.
+                boundary = (
+                    self.n_accepted // self.snapshot_every + 1
+                ) * self.snapshot_every
+                end = min(n, pos + (boundary - self.n_accepted))
+            chunk = end - pos
+            self.admission.admit_batch(chunk)
+            self.n_accepted += chunk
+            self._next_index += chunk
+            r0 = time.perf_counter_ns()
+            fp.route_batch(t[pos:end], s[pos:end], e[pos:end])
+            route_ns += time.perf_counter_ns() - r0
+            sim.run(until=float(t[end - 1]))
+            if store is not None and self.n_accepted % self.snapshot_every == 0:
+                self._write_snapshot()
+            pos = end
+        t2 = time.perf_counter_ns()
+        self._decision_ns.append((t2 - t1, n))
+        self._route_ns += route_ns
+        self._commit_ns += (t2 - t1) - route_ns
+        if collect:
+            return [
+                {"outcome": "admitted", "reason": "admit", "host": int(h)}
+                for h in fp._host[fp.m - n : fp.m].tolist()
+            ]
+        return n
+
+    def _handover(self) -> None:
+        """Disengage the fast path, reconstructing engine state exactly.
+
+        Called the moment any breaker holds failure evidence (and by
+        ``drain`` when that happens last-minute).  The columnar records
+        become real jobs/queues/events at the current instant, and the
+        heartbeat chain resumes at the epoch the engine path would be
+        on: beats fire at cumulative sums ``hb, hb+hb, …`` (the
+        ``schedule_after`` accumulation from 0.0), so the next one is
+        the first such partial sum strictly after ``now`` — computed by
+        the same repeated addition for bit-identical epochs.  One-way:
+        the server never re-engages.
+        """
+        fp = self._fastpath
+        assert fp is not None
+        self._fastpath = None
+        inner = self._inner
+        now = inner.sim.now
+        fp.hand_over(inner, now)
+        beat = self.heartbeat_interval
+        while beat <= now:
+            beat += self.heartbeat_interval
+        inner.sim.schedule(beat, self._heartbeat)
+        self._fastpath_stats["engaged"] = False
+        self._fastpath_stats["handovers"] += 1
+        self._fastpath_stats["decisions"] = fp.m
 
     def drain(self, max_stalls: int = 256) -> None:
         """Advance virtual time until no admitted job is in flight.
@@ -449,6 +658,21 @@ class DispatchServer:
         :class:`OnlineDispatchError` (a fault model whose repairs cannot
         keep up with the retry churn) instead of spinning forever.
         """
+        fp = self._fastpath
+        if fp is not None:
+            if not self.health.pristine():
+                self._handover()
+            else:
+                sim = self._inner.sim
+                horizon = fp.max_completion()
+                if horizon > sim.now:
+                    # The calendar is empty while engaged, so this is an
+                    # O(1) clock advance past the last completion epoch.
+                    sim.run(until=horizon)
+                fp.materialize_completed(self._inner, sim.now)
+                if self.snapshot_store is not None and not self._replaying:
+                    self._write_snapshot()
+                return
         inner = self._inner
         sim = inner.sim
         stalls = 0
@@ -486,6 +710,11 @@ class DispatchServer:
 
     @property
     def n_completed(self) -> int:
+        fp = self._fastpath
+        if fp is not None:
+            # Completions are implicit while engaged: a record is done
+            # once the clock passes its completion epoch.
+            return fp.completed_count(self._inner.sim.now)
         return len(self._inner._completed)
 
     @property
@@ -523,18 +752,50 @@ class DispatchServer:
         }
 
     def latency_summary(self) -> dict:
-        """Wall-clock decision latency (observability, not state)."""
-        if not self._latency_ns:
+        """Wall-clock decision latency (observability, not state).
+
+        The percentiles cover the **decision** stage only — routing plus
+        commit — so they no longer conflate admission-queue wait with
+        routing cost; the intake stage (validation, engine advance,
+        token-bucket decision) is reported separately under ``"intake"``.
+        ``decisions_per_s`` still divides by the *total* wall time of
+        both stages, keeping the throughput figure comparable across
+        releases.  Batched decisions contribute their per-job mean.
+        """
+        if not self._decision_ns:
             return {"decisions": 0}
-        ns = np.asarray(self._latency_ns, dtype=float)
+        d_ns = np.array([pair[0] for pair in self._decision_ns], dtype=float)
+        counts = np.array([pair[1] for pair in self._decision_ns])
+        i_total = float(sum(pair[0] for pair in self._intake_ns))
+        d_total = float(d_ns.sum())
+        n = int(counts.sum())
+        per_job = np.repeat(d_ns / counts, counts)
         return {
-            "decisions": int(ns.size),
-            "decisions_per_s": float(ns.size / (ns.sum() / 1e9)),
-            "mean_us": float(ns.mean() / 1e3),
-            "p50_us": float(np.percentile(ns, 50) / 1e3),
-            "p95_us": float(np.percentile(ns, 95) / 1e3),
-            "p99_us": float(np.percentile(ns, 99) / 1e3),
+            "decisions": n,
+            "decisions_per_s": float(n / ((i_total + d_total) / 1e9)),
+            "mean_us": float(per_job.mean() / 1e3),
+            "p50_us": float(np.percentile(per_job, 50) / 1e3),
+            "p95_us": float(np.percentile(per_job, 95) / 1e3),
+            "p99_us": float(np.percentile(per_job, 99) / 1e3),
+            "intake": {
+                "total_ms": i_total / 1e6,
+                "mean_us": i_total / n / 1e3,
+            },
+            "stages": {
+                "intake_ms": i_total / 1e6,
+                "route_ms": self._route_ns / 1e6,
+                "commit_ms": self._commit_ns / 1e6,
+            },
         }
+
+    def fast_path_status(self) -> dict:
+        """Fast-path engagement state (observability, not accounting)."""
+        fp = self._fastpath
+        st = dict(self._fastpath_stats)
+        st["engaged"] = fp is not None
+        if fp is not None:
+            st["decisions"] = fp.m
+        return st
 
     def status(self) -> dict:
         """Full observability document (counters, breakers, cutoffs…)."""
@@ -546,10 +807,17 @@ class DispatchServer:
             + counters["lost"]
             + counters["in_flight"]
         )
-        completed = self._inner._completed
-        slowdowns = (
-            np.array([j.slowdown for j in completed]) if completed else None
-        )
+        fp = self._fastpath
+        if fp is not None:
+            # Materialisation is lazy while engaged; the columnar records
+            # yield the same (completion - arrival) / size slowdowns in
+            # the same completion order.
+            slowdowns = fp.slowdowns(now)
+        else:
+            completed = self._inner._completed
+            slowdowns = (
+                np.array([j.slowdown for j in completed]) if completed else None
+            )
         injector = self._inner.fault_injector
         return {
             "clock": now,
@@ -565,6 +833,7 @@ class DispatchServer:
             if slowdowns is None
             else jain_fairness_index(slowdowns),
             "latency": self.latency_summary(),
+            "fast_path": self.fast_path_status(),
         }
 
     # ------------------------------------------------------------------
@@ -579,13 +848,31 @@ class DispatchServer:
                 "clock": self.now,
                 "counters": self.counters(),
                 "breakers": self.health.states(self.now),
+                # Engagement is a pure function of the replayed stream,
+                # so resume needs no fast-path state — recorded for
+                # observability and post-crash debugging only.
+                "fast_path": self._fastpath is not None,
             }
         )
+
+    def _submit_many(
+        self, jobs: Sequence[tuple[float, float]], batch_size: int
+    ) -> None:
+        if batch_size <= 1:
+            for arrival, size in jobs:
+                self.submit(size, arrival)
+            return
+        for i in range(0, len(jobs), batch_size):
+            chunk = jobs[i : i + batch_size]
+            self.submit_batch(
+                [a for a, _ in chunk], [s for _, s in chunk]
+            )
 
     def run_stream(
         self,
         jobs: Iterable[tuple[float, float]],
         resume: bool = False,
+        batch_size: int = 1,
     ) -> dict:
         """Drive a full ``(arrival, size)`` stream and drain.
 
@@ -594,6 +881,13 @@ class DispatchServer:
         counters are audited against the stored ones — a mismatch means
         the stream or the server is nondeterministic, and the resume
         refuses to continue.
+
+        ``batch_size > 1`` feeds the stream through
+        :meth:`submit_batch` in chunks of that size; the decisions and
+        counters are identical for every batch size (asserted by the
+        batch-invariance test), only the wall-clock throughput changes.
+        The replay prefix is batched the same way, so a resumed run
+        retraces the original snapshot cadence exactly.
         """
         jobs = list(jobs)
         start = 0
@@ -610,8 +904,7 @@ class DispatchServer:
                     )
                 self._replaying = True
                 try:
-                    for arrival, size in jobs[:start]:
-                        self.submit(size, arrival)
+                    self._submit_many(jobs[:start], batch_size)
                 finally:
                     self._replaying = False
                 got = self.counters()
@@ -625,7 +918,6 @@ class DispatchServer:
                         "resume audit failed: deterministic replay of "
                         f"{start} jobs disagrees with the snapshot on {diff}"
                     )
-        for arrival, size in jobs[start:]:
-            self.submit(size, arrival)
+        self._submit_many(jobs[start:], batch_size)
         self.drain()
         return self.status()

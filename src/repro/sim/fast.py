@@ -59,6 +59,8 @@ __all__ = [
     "SitaScanKernel",
     "SitaScanResult",
     "sita_scan",
+    "SERVE_DISPATCH_MODES",
+    "serve_dispatch_batch",
 ]
 
 
@@ -873,3 +875,148 @@ def sita_scan(
     """
     kernel = SitaScanKernel(trace, metric=metric, warmup_fraction=warmup_fraction)
     return kernel.scan(candidates)
+
+
+#: host-selection modes of :func:`serve_dispatch_batch`.
+SERVE_DISPATCH_MODES = {"lwl": 0, "sita": 1, "fixed": 2}
+
+
+@kernel_contract(
+    shapes={
+        "arrival_times": ("n",),
+        "sizes": ("n",),
+        "estimates": ("n",),
+        "host_speeds": ("h",),
+        "cutoffs": ("c",),
+        "v": ("h",),
+        "hosts": ("n",),
+        "starts": ("n",),
+    },
+    dtypes={
+        "arrival_times": "float64",
+        "sizes": "float64",
+        "estimates": "float64",
+        "host_speeds": "float64",
+        "cutoffs": "float64",
+        "v": "float64",
+        "hosts": "int64",
+        "starts": "float64",
+    },
+    writes=("v", "hosts", "starts"),
+    contiguous=(
+        "arrival_times",
+        "sizes",
+        "estimates",
+        "host_speeds",
+        "cutoffs",
+        "v",
+        "hosts",
+        "starts",
+    ),
+)
+def serve_dispatch_batch(
+    arrival_times: np.ndarray,
+    sizes: np.ndarray,
+    estimates: np.ndarray,
+    host_speeds: np.ndarray,
+    cutoffs: np.ndarray,
+    v: np.ndarray,
+    hosts: np.ndarray,
+    starts: np.ndarray,
+    mode: int,
+) -> None:
+    """Route one arrival batch through incremental O(1) host updates.
+
+    The online dispatcher's fault-free fast path (see
+    :mod:`repro.serve.fastpath`): instead of scheduling an event per
+    job, each job advances a single per-host scalar — the virtual
+    completion time ``v`` — by the event engine's own float expressions
+    (``start = max(v[h], t)``, ``v[h] = start + size/speed``), so the
+    produced start epochs (written into ``starts``) and the implied
+    completions ``starts + sizes/speeds[hosts]`` are bit-identical to
+    the engine path.
+
+    ``mode`` selects the host rule — ``0``: Least-Work-Left, a
+    first-minimum scan of ``max(0, v - t)`` matching ``np.argmin``
+    tie-breaking; ``1``: SITA, the first cutoff ``>=`` the size estimate
+    (``searchsorted`` left); ``2``: ``hosts`` arrives pre-filled
+    (Random/Round-Robin, whose draws must advance the policy's RNG or
+    pointer one job at a time in Python).  Chosen hosts are written
+    back into ``hosts`` in every mode.
+    """
+    n = arrival_times.shape[0]
+    if n == 0:
+        return
+    fn = _compiled.dispatch("serve_dispatch_batch")
+    if fn is not None:
+        fn(
+            arrival_times,
+            sizes,
+            estimates,
+            host_speeds,
+            cutoffs,
+            v,
+            hosts,
+            starts,
+            int(mode),
+        )
+        return
+    # Python tier: plain-float loops (tolist), same IEEE-754 arithmetic
+    # as the nopython body — see lwl_waits on why this beats ndarray
+    # indexing in a tight loop.
+    t_list = arrival_times.tolist()
+    s_list = sizes.tolist()
+    v_list = v.tolist()
+    sp_list = host_speeds.tolist()
+    n_hosts = len(v_list)
+    hosts_out = [0] * n
+    starts_out = [0.0] * n
+    if mode == 0:
+        for j in range(n):
+            tj = t_list[j]
+            best = 0
+            best_key = v_list[0] - tj
+            if best_key < 0.0:
+                best_key = 0.0
+            for i in range(1, n_hosts):
+                key = v_list[i] - tj
+                if key < 0.0:
+                    key = 0.0
+                if key < best_key:
+                    best = i
+                    best_key = key
+            vb = v_list[best]
+            start = tj if vb < tj else vb
+            starts_out[j] = start
+            hosts_out[j] = best
+            v_list[best] = start + s_list[j] / sp_list[best]
+    elif mode == 1:
+        e_list = estimates.tolist()
+        c_list = cutoffs.tolist()
+        n_cut = len(c_list)
+        for j in range(n):
+            tj = t_list[j]
+            est = e_list[j]
+            best = 0
+            while best < n_cut and c_list[best] < est:
+                best += 1
+            vb = v_list[best]
+            start = tj if vb < tj else vb
+            starts_out[j] = start
+            hosts_out[j] = best
+            v_list[best] = start + s_list[j] / sp_list[best]
+    elif mode == 2:
+        h_list = hosts.tolist()
+        for j in range(n):
+            tj = t_list[j]
+            best = h_list[j]
+            vb = v_list[best]
+            start = tj if vb < tj else vb
+            starts_out[j] = start
+            hosts_out[j] = best
+            v_list[best] = start + s_list[j] / sp_list[best]
+    else:
+        raise ValueError(f"unknown dispatch mode {mode!r}")
+    hosts[:] = hosts_out
+    starts[:] = starts_out
+    v[:] = v_list

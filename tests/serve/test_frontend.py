@@ -94,3 +94,34 @@ class TestFrontend:
     def test_connection_counter_returns_to_zero(self, tmp_path):
         _, frontend = talk(tmp_path, [req(op="status")])
         assert frontend.connections == 0
+
+    def test_submit_batch_op(self, tmp_path):
+        replies, _ = talk(
+            tmp_path,
+            [
+                req(op="submit_batch", jobs=[[0.0, 2.0], [1.0, 1.0, 1.5]]),
+                req(op="drain"),
+            ],
+        )
+        batch, drain = replies
+        assert batch["ok"]
+        assert [r["outcome"] for r in batch["results"]] == ["admitted"] * 2
+        assert all(isinstance(r["host"], int) for r in batch["results"])
+        assert drain["counters"]["completed"] == 2
+
+    def test_submit_batch_validation(self, tmp_path):
+        replies, _ = talk(
+            tmp_path,
+            [
+                req(op="submit_batch", jobs=[]),
+                req(op="submit_batch", jobs=[[0.0, "x"]]),
+                req(op="submit_batch", jobs=[[0.0, 1.0], [1.0, -2.0]]),
+                req(op="status"),
+            ],
+        )
+        empty, bad_row, bad_size, status = replies
+        assert not empty["ok"] and "non-empty" in empty["error"]
+        assert not bad_row["ok"] and "numeric" in bad_row["error"]
+        assert not bad_size["ok"] and "positive" in bad_size["error"]
+        # atomic: the invalid batch admitted nothing
+        assert status["status"]["counters"]["accepted"] == 0

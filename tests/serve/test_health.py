@@ -102,3 +102,67 @@ class TestHealthMonitor:
         assert doc["0"]["observations"] == {"ok": 1, "failed": 0}
         assert doc["1"]["state"] == "open"
         assert doc["1"]["trips"] == 1
+
+
+class TestMaskCache:
+    def make(self, n=3, **kw):
+        mon = HealthMonitor(**kw)
+        for i in range(n):
+            mon.register_host(i)
+        return mon
+
+    def test_mask_is_cached_and_read_only(self):
+        mon = self.make(3)
+        m1 = mon.up_mask(1.0)
+        assert m1 is mon.up_mask(2.0)  # same object, no rebuild
+        with pytest.raises(ValueError):
+            m1[0] = False
+
+    def test_success_probes_do_not_invalidate(self):
+        mon = self.make(2)
+        m1 = mon.up_mask(0.0)
+        # The dispatcher feeds a success probe back on every handoff;
+        # on a clean breaker that must not thrash the cache.
+        for k in range(5):
+            mon.probe(0, True, float(k))
+        assert mon.up_mask(5.0) is m1
+
+    def test_failure_invalidates(self):
+        mon = self.make(2, failure_threshold=1, cooldown=50.0)
+        m1 = mon.up_mask(0.0)
+        mon.probe(1, False, 0.0)
+        m2 = mon.up_mask(1.0)
+        assert m2 is not m1
+        np.testing.assert_array_equal(m2, np.array([True, False]))
+
+    def test_cooldown_expiry_invalidates_by_clock_alone(self):
+        mon = self.make(2, failure_threshold=1, cooldown=50.0)
+        mon.probe(1, False, 0.0)
+        m_open = mon.up_mask(1.0)
+        # within the validity window the cache holds...
+        assert mon.up_mask(49.0) is m_open
+        # ...and the open->half_open transition rebuilds it with no
+        # intervening observation.
+        m_half = mon.up_mask(50.0)
+        assert m_half is not m_open
+        np.testing.assert_array_equal(m_half, np.array([True, True]))
+
+    def test_success_after_failure_invalidates(self):
+        mon = self.make(2, failure_threshold=2)
+        mon.probe(0, False, 0.0)  # sub-threshold failure: closed, dirty
+        m1 = mon.up_mask(1.0)
+        mon.probe(0, True, 2.0)  # clears the failure streak
+        assert mon.up_mask(3.0) is not m1
+
+    def test_pristine_tracks_failure_evidence(self):
+        mon = self.make(2, failure_threshold=2, cooldown=10.0)
+        assert mon.pristine()
+        mon.probe(0, True, 0.0)
+        assert mon.pristine()  # successes keep it pristine
+        mon.probe(0, False, 1.0)
+        # Sub-threshold: the mask still allows host 0, but the monitor
+        # is no longer pristine — this is what disengages the fast path.
+        assert mon.up_mask(1.0).all()
+        assert not mon.pristine()
+        mon.probe(0, True, 2.0)
+        assert mon.pristine()  # streak cleared: evidence gone
