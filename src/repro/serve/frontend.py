@@ -21,14 +21,22 @@ import asyncio
 import contextlib
 from pathlib import Path
 
-from .protocol import MAX_LINE, ProtocolError, decode_line, encode
+from .protocol import KNOWN_OPS, MAX_LINE, ProtocolError, decode_line, encode
 from .server import DispatchServer, OnlineDispatchError
 
 __all__ = ["ServeFrontend"]
 
 
 class ServeFrontend:
-    """Serve a :class:`DispatchServer` over a Unix or TCP socket."""
+    """Serve a dispatch core over a Unix or TCP socket.
+
+    The core is a :class:`DispatchServer` or anything duck-typing its
+    driving surface — notably the sharded coordinator
+    (:class:`repro.serve.shard.ShardedDispatchServer`), which makes the
+    socket front end multi-process without a line of transport code
+    here: the lock discipline is identical because the coordinator is
+    just as synchronous as the single-process core.
+    """
 
     def __init__(self, core: DispatchServer, max_batch: int = 4096) -> None:
         if max_batch < 1:
@@ -176,9 +184,26 @@ class ServeFrontend:
                 return {"ok": True, "results": records}
             if op == "status":
                 return {"ok": True, "status": self._core.status()}
+            if op == "shards":
+                status = self._core.status()
+                sharding = status.get("sharding")
+                if sharding is None:
+                    return {
+                        "ok": False,
+                        "error": "this server is not sharded (run with "
+                        "--shards N)",
+                    }
+                return {
+                    "ok": True,
+                    "sharding": sharding,
+                    "shards": status.get("shards"),
+                }
             if op == "drain":
                 self._core.drain()
                 return {"ok": True, "counters": self._core.counters()}
-            return {"ok": False, "error": f"unknown op {op!r}"}
+            return {
+                "ok": False,
+                "error": f"unknown op {op!r} (known: {', '.join(KNOWN_OPS)})",
+            }
         except (ProtocolError, ValueError, OnlineDispatchError) as exc:
             return {"ok": False, "error": str(exc)}

@@ -1,0 +1,247 @@
+"""Shard routing: which worker process owns which job.
+
+The sharded dispatch engine (:mod:`repro.serve.shard`) partitions the
+host fleet into contiguous slices, one per worker process, and asks a
+:class:`ShardRouter` to map every intake batch onto those slices.  Three
+routers cover the policy families the online dispatcher serves:
+
+:class:`SitaShardRouter`
+    The SITA family's size-interval partition *is* a shard key: each
+    shard owns a contiguous run of size intervals (and their hosts), and
+    routing is one ``searchsorted`` on the boundary cutoffs — exactly
+    the expression the unsharded fast path evaluates, which is what
+    makes SITA-sharded runs bit-identical to a single
+    :class:`~repro.serve.server.DispatchServer` (the merge proof lives
+    in :mod:`repro.serve.shard`).
+
+:class:`HashShardRouter`
+    Consistent hashing over the global job index for the balancing
+    policies (LWL / SQ / Random / RR run *within* each shard's host
+    subset).  The ring is a pure function of the shard count — no RNG —
+    so replays and ``--resume`` re-route identically, and removing a
+    shard only remaps that shard's keys (the classic ring property).
+
+:class:`PowerOfDRouter`
+    Sampling-based load-aware routing in the spirit of power-of-d
+    choices (Gardner et al., "Scalable Load Balancing in the Presence of
+    Heterogeneous Servers"): per intake batch, poll ``d`` sampled shard
+    load summaries and send the batch to the least loaded.  The sample
+    RNG is a spawned :class:`~numpy.random.SeedSequence` child and the
+    summaries are consumed strictly in shard order, so the choice
+    sequence is a deterministic function of the seed and the stream.
+
+Every router is deterministic under replay by construction; that is the
+contract ``--resume``'s audit depends on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = [
+    "HashShardRouter",
+    "PowerOfDRouter",
+    "ROUTER_NAMES",
+    "ShardRouter",
+    "SitaShardRouter",
+    "partition_hosts",
+]
+
+ROUTER_NAMES = ("sita", "hash", "pow2")
+
+
+def partition_hosts(n_hosts: int, n_shards: int) -> list[tuple[int, int]]:
+    """Contiguous, as-even-as-possible ``(base, count)`` host slices.
+
+    The first ``n_hosts % n_shards`` shards get one extra host
+    (``numpy.array_split`` order), every shard gets at least one.
+    """
+    if n_shards < 1:
+        raise ValueError(f"need at least 1 shard, got {n_shards}")
+    if n_hosts < n_shards:
+        raise ValueError(
+            f"{n_shards} shards cannot partition {n_hosts} hosts "
+            f"(every shard needs at least one host)"
+        )
+    base, extra = divmod(n_hosts, n_shards)
+    slices: list[tuple[int, int]] = []
+    start = 0
+    for i in range(n_shards):
+        count = base + (1 if i < extra else 0)
+        slices.append((start, count))
+        start += count
+    return slices
+
+
+class ShardRouter:
+    """Maps intake batches to shard ids; fed load summaries after acks.
+
+    Subclasses implement :meth:`route_batch`.  :meth:`observe` is called
+    once per shard per coordinator batch, in shard order, with the
+    shard's ack summary — stateless routers ignore it.
+    """
+
+    name = "base"
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards < 1:
+            raise ValueError(f"need at least 1 shard, got {n_shards}")
+        self.n_shards = int(n_shards)
+
+    def route_batch(
+        self,
+        first_index: int,
+        arrivals: np.ndarray,
+        sizes: np.ndarray,
+        estimates: np.ndarray,
+    ) -> np.ndarray:
+        """Shard id for every job of the batch (``first_index`` global)."""
+        raise NotImplementedError
+
+    def observe(self, shard_id: int, summary: dict) -> None:
+        """Ingest one shard's post-batch load summary (default: ignore)."""
+
+
+class SitaShardRouter(ShardRouter):
+    """Per-size-class routing: shard ``j`` owns a run of SITA intervals.
+
+    ``boundaries`` are the cutoffs *between* shards — the subset of the
+    policy's cutoffs sitting at the host-partition split points — so the
+    route is ``searchsorted(boundaries, estimate, side="left")``, the
+    exact expression :meth:`SITAPolicy.host_for_size
+    <repro.core.policies.sita.SITAPolicy.host_for_size>` evaluates on
+    the full cutoff vector.  :func:`split_cutoffs` derives both the
+    boundaries and each shard's interior cutoff slice from one
+    partition, guaranteeing the two-level ``searchsorted`` composes to
+    the global one (asserted by the bit-identity suite).
+    """
+
+    name = "sita"
+
+    def __init__(self, n_shards: int, boundaries: np.ndarray) -> None:
+        super().__init__(n_shards)
+        self.boundaries = np.ascontiguousarray(boundaries, dtype=np.float64)
+        if self.boundaries.size != n_shards - 1:
+            raise ValueError(
+                f"{n_shards} shards need {n_shards - 1} boundary cutoffs, "
+                f"got {self.boundaries.size}"
+            )
+        if np.any(np.diff(self.boundaries) <= 0):
+            raise ValueError("shard boundaries must be strictly increasing")
+
+    def route_batch(self, first_index, arrivals, sizes, estimates):
+        return np.searchsorted(self.boundaries, estimates, side="left")
+
+
+def split_cutoffs(
+    cutoffs: np.ndarray, slices: list[tuple[int, int]]
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """``(shard boundaries, per-shard interior cutoffs)`` for a partition.
+
+    With hosts ``base..base+count`` in shard ``j``, the global route
+    ``g = searchsorted(cutoffs, e)`` decomposes as ``g = base_j +
+    searchsorted(interior_j, e)`` for every ``e`` landing in shard ``j``
+    — the interior slice ``cutoffs[base : base+count-1]`` preserves all
+    comparisons the global vector makes inside the shard's size range.
+    """
+    c = np.ascontiguousarray(cutoffs, dtype=np.float64)
+    n_hosts = c.size + 1
+    if sum(count for _, count in slices) != n_hosts:
+        raise ValueError(
+            f"partition covers {sum(ct for _, ct in slices)} hosts but the "
+            f"cutoff vector drives {n_hosts}"
+        )
+    boundaries = np.array(
+        [c[base - 1] for base, _ in slices[1:]], dtype=np.float64
+    )
+    interiors = [c[base : base + count - 1].copy() for base, count in slices]
+    return boundaries, interiors
+
+
+class HashShardRouter(ShardRouter):
+    """Consistent-hash ring over the global job index.
+
+    ``replicas`` virtual points per shard are placed on a 64-bit ring by
+    ``blake2s``; a job's key hashes to a point and the clockwise
+    successor's shard takes it.  Entirely seedless and stateless: the
+    same index always routes to the same shard (replay, resume and the
+    audit depend on exactly that), and shard churn only remaps the keys
+    of the affected shard.
+    """
+
+    name = "hash"
+
+    def __init__(self, n_shards: int, replicas: int = 64) -> None:
+        super().__init__(n_shards)
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        points: list[tuple[int, int]] = []
+        for shard in range(n_shards):
+            for rep in range(replicas):
+                digest = hashlib.blake2s(
+                    f"shard:{shard}:{rep}".encode(), digest_size=8
+                ).digest()
+                points.append((int.from_bytes(digest, "big"), shard))
+        points.sort()
+        self._ring_keys = np.array([p[0] for p in points], dtype=np.uint64)
+        self._ring_shards = np.array([p[1] for p in points], dtype=np.int64)
+
+    def _key_points(self, first_index: int, n: int) -> np.ndarray:
+        out = np.empty(n, dtype=np.uint64)
+        for k in range(n):
+            digest = hashlib.blake2s(
+                f"job:{first_index + k}".encode(), digest_size=8
+            ).digest()
+            out[k] = int.from_bytes(digest, "big")
+        return out
+
+    def route_batch(self, first_index, arrivals, sizes, estimates):
+        points = self._key_points(first_index, arrivals.shape[0])
+        # clockwise successor on the ring; wrap past the last point.
+        pos = np.searchsorted(self._ring_keys, points, side="left")
+        pos[pos == self._ring_keys.size] = 0
+        return self._ring_shards[pos]
+
+
+class PowerOfDRouter(ShardRouter):
+    """Power-of-``d`` sampling over shard load summaries, per batch.
+
+    The whole intake batch goes to the least-loaded of ``d`` sampled
+    shards (ties to the lowest shard id); load is the shard's backlog
+    of unfinished work as of its last ack, so the router runs on
+    *reported* state, one batch stale at most — the same belief-not-
+    clairvoyance discipline as the breaker layer.
+    """
+
+    name = "pow2"
+
+    def __init__(
+        self,
+        n_shards: int,
+        seed_seq: np.random.SeedSequence,
+        d: int = 2,
+    ) -> None:
+        super().__init__(n_shards)
+        if not 1 <= d:
+            raise ValueError(f"d must be >= 1, got {d}")
+        self.d = min(int(d), self.n_shards)
+        self._rng = np.random.default_rng(seed_seq)
+        self._backlog = np.zeros(self.n_shards, dtype=np.float64)
+
+    def route_batch(self, first_index, arrivals, sizes, estimates):
+        if self.n_shards == 1:
+            return np.zeros(arrivals.shape[0], dtype=np.int64)
+        sample = np.sort(
+            self._rng.choice(self.n_shards, size=self.d, replace=False)
+        )
+        best = sample[int(np.argmin(self._backlog[sample]))]
+        out = np.full(arrivals.shape[0], int(best), dtype=np.int64)
+        # Account the batch against the chosen shard immediately so the
+        # very next batch does not see a stale zero for it.
+        self._backlog[best] += float(sizes.sum())
+        return out
+
+    def observe(self, shard_id: int, summary: dict) -> None:
+        self._backlog[shard_id] = float(summary.get("backlog", 0.0))

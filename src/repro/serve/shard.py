@@ -1,0 +1,1186 @@
+"""The sharded dispatch engine: N worker processes, one deterministic merge.
+
+PR 9's fast path made the single-process dispatcher cheap per decision
+(~1.3M decisions/s on this box), which moves the bottleneck to the
+process itself.  This module shards the *host fleet*: the coordinator
+(:class:`ShardedDispatchServer`) partitions the hosts into contiguous
+slices, runs one full :class:`~repro.serve.server.DispatchServer` per
+slice in a worker process (fast path engaged per shard), and routes
+every intake batch to shards through a pluggable
+:class:`~repro.serve.router.ShardRouter`.
+
+Transport reuses the parallel-sweep patterns from
+:mod:`repro.experiments.parallel`: each shard gets a shared-memory
+columnar ring (:class:`ShardRing`) the coordinator writes batch columns
+into, with a transparent inline-pickle fallback when ``/dev/shm`` is
+unusable or a batch outgrows the ring.  Control flows over a per-shard
+duplex pipe; the coordinator posts to every shard first and then
+collects acknowledgements **strictly in shard order** — the same
+ordered-consumption discipline our SIM106 lint rule enforces for the
+sweep executor — so merged state never depends on OS scheduling.
+
+Determinism contract
+--------------------
+
+* Seeds fan out as :meth:`numpy.random.SeedSequence.spawn` children,
+  one per shard (each shard spawns grandchildren for policy and jitter
+  exactly like an unsharded server); fault schedules get their own
+  spawned tree rooted at the fault seed.
+* For the SITA family, sharding is *exact*: per-host virtual completion
+  clocks evolve only from the subsequence of jobs assigned to that host,
+  and :class:`~repro.serve.router.SitaShardRouter` composes with each
+  shard's interior cutoffs to reproduce the global ``searchsorted``
+  index arithmetic — so a fault-free SITA-sharded run merges to per-job
+  starts, completions, hosts, counters and Jain index **bit-identical**
+  to the unsharded server on the same seed (hypothesis-tested across
+  shard counts and batch sizes; ``repro audit --sharded`` cross-checks
+  it on every audit run).
+* Snapshots are two-level: every shard writes its own atomic snapshot
+  file, then the coordinator writes an atomic ``manifest.json`` naming
+  the sequence number and embedding every shard's counters.  ``--resume``
+  restores by replaying the manifest's stream prefix through the same
+  router (bit-identical routing) and auditing each shard's replayed
+  counters against the embedded ones; a missing, foreign or stale shard
+  snapshot is refused with a diagnosable error instead of silently
+  diverging.  The legal crash window — shards at sequence ``k+1``,
+  manifest still at ``k`` — is accepted; the manifest is authoritative.
+
+The merged :meth:`~ShardedDispatchServer.status` document preserves the
+global accounting invariant ``accepted == completed + rejected + lost +
+in_flight`` (sums of per-shard invariants that each hold), and its
+``jain_slowdown`` is computed from globally reconstructed
+submission-order arrays with the exact expression the fast path uses —
+order-sensitive float reductions included.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import multiprocessing as mp
+import os
+import signal
+import time
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from pathlib import Path
+
+import numpy as np
+
+from ..core.policies import SITAPolicy
+from ..experiments.parallel import _attach_untracked
+from ..sim.faults import FaultModel
+from ..sim.metrics import jain_fairness_index
+from .router import (
+    HashShardRouter,
+    PowerOfDRouter,
+    ShardRouter,
+    SitaShardRouter,
+    partition_hosts,
+    split_cutoffs,
+)
+from .server import DispatchServer, OnlineDispatchError
+from .snapshot import SnapshotStore, serve_signature
+
+__all__ = [
+    "ShardRing",
+    "ShardSpec",
+    "ShardedDispatchServer",
+    "build_router",
+]
+
+#: default ring capacity, in jobs; batches above it fall back to pickling.
+RING_CAPACITY = 1 << 16
+
+
+# ----------------------------------------------------------------------
+# shared-memory batch transport
+# ----------------------------------------------------------------------
+
+
+class ShardRing:
+    """Columnar one-batch buffer from the coordinator to one shard.
+
+    Three float64 columns (arrival, size, estimate) of fixed capacity,
+    one outstanding batch at a time: the coordinator writes then posts
+    ``("batch", n, …)``; the worker copies the first ``n`` rows out
+    before acknowledging, so the next write cannot race it.  The parent
+    owns the segment's lifetime (create/unlink); workers attach without
+    resource-tracker bookkeeping via the same bpo-39959 workaround the
+    sweep executor uses.
+    """
+
+    COLUMNS = 3
+
+    def __init__(self, capacity: int = RING_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"ring capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.shm = shared_memory.SharedMemory(
+            create=True, size=self.COLUMNS * 8 * self.capacity
+        )
+        self.name = self.shm.name
+        self._map_views()
+
+    def _map_views(self) -> None:
+        n = self.capacity
+        buf = self.shm.buf
+        self.arrival = np.ndarray(n, dtype=np.float64, buffer=buf)
+        self.size = np.ndarray(n, dtype=np.float64, buffer=buf, offset=8 * n)
+        self.est = np.ndarray(n, dtype=np.float64, buffer=buf, offset=16 * n)
+
+    @classmethod
+    def attach(cls, name: str, capacity: int) -> "ShardRing":
+        ring = cls.__new__(cls)
+        ring.capacity = int(capacity)
+        ring.shm = _attach_untracked(name)
+        ring.name = name
+        ring._map_views()
+        return ring
+
+    def write(self, t: np.ndarray, s: np.ndarray, e: np.ndarray) -> int:
+        n = int(t.shape[0])
+        self.arrival[:n] = t
+        self.size[:n] = s
+        self.est[:n] = e
+        return n
+
+    def read(self, n: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        # Copies: the coordinator reuses the buffer for the next batch.
+        return (
+            self.arrival[:n].copy(),
+            self.size[:n].copy(),
+            self.est[:n].copy(),
+        )
+
+    def close(self) -> None:
+        self.arrival = self.size = self.est = None
+        self.shm.close()
+
+    def unlink(self) -> None:
+        self.shm.unlink()
+
+
+# ----------------------------------------------------------------------
+# shard worker
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ShardSpec:
+    """Everything a worker needs to build its slice of the fleet.
+
+    Picklable by construction (spawn-start workers re-import the world);
+    ``seed`` is a spawned :class:`~numpy.random.SeedSequence` child, never
+    a re-rooted integer — that is the SIM212 discipline.
+    """
+
+    shard_id: int
+    n_shards: int
+    n_hosts: int
+    host_base: int
+    policy: object
+    seed: np.random.SeedSequence
+    strict: bool | None
+    faults: FaultModel | None
+    host_speeds: tuple[float, ...] | None
+    heartbeat_interval: float
+    snapshot_path: str | None
+    signature: str
+    fast_path: bool = True
+
+
+def _build_shard_server(spec: ShardSpec) -> DispatchServer:
+    return DispatchServer(
+        spec.n_hosts,
+        spec.policy,
+        seed=spec.seed,
+        host_speeds=spec.host_speeds,
+        strict=spec.strict,
+        faults=spec.faults,
+        heartbeat_interval=spec.heartbeat_interval,
+        fast_path=spec.fast_path,
+    )
+
+
+class ShardHarness:
+    """One shard's message handler — the same object drives both
+    transports (in a worker process, or inline for tests and audits)."""
+
+    def __init__(self, spec: ShardSpec, ring: ShardRing | None = None) -> None:
+        self.spec = spec
+        self.ring = ring
+        self.server = _build_shard_server(spec)
+        self.live_batches = 0
+        self._store: SnapshotStore | None = None
+        if spec.snapshot_path is not None:
+            self._store = SnapshotStore(spec.snapshot_path, spec.signature)
+
+    def handle(self, msg: tuple) -> dict | None:
+        op = msg[0]
+        if op == "batch":
+            _, n, replaying, collect = msg
+            assert self.ring is not None
+            t, s, e = self.ring.read(n)
+            return self._batch(t, s, e, replaying, collect)
+        if op == "batch_inline":
+            _, (t, s, e), replaying, collect = msg
+            return self._batch(t, s, e, replaying, collect)
+        if op == "snapshot":
+            return self._snapshot(msg[1])
+        if op == "status":
+            return self.server.status()
+        if op == "drain":
+            return self._drain()
+        if op == "stop":
+            return None
+        raise ValueError(f"unknown shard op {op!r}")
+
+    def _batch(self, t, s, e, replaying: bool, collect: bool) -> dict:
+        server = self.server
+        if collect:
+            records = server.submit_batch(t, s, e, collect=True)
+        else:
+            server.submit_batch(t, s, e)
+            records = None
+        if not replaying:
+            self.live_batches += 1
+        return {"records": records, "load": server.load_summary()}
+
+    def _snapshot(self, seq: int) -> dict:
+        if self._store is None:
+            raise OnlineDispatchError(
+                f"shard {self.spec.shard_id} has no snapshot path"
+            )
+        counters = self.server.counters()
+        self._store.save(
+            {
+                "seq": int(seq),
+                "shard": self.spec.shard_id,
+                "accepted": self.server.n_accepted,
+                "clock": self.server.now,
+                "counters": counters,
+            }
+        )
+        return {"seq": int(seq), "counters": counters}
+
+    def _drain(self) -> dict:
+        server = self.server
+        server.drain()
+        intake_pairs, decision_pairs = server.latency_pairs()
+        table = server.job_table()
+        return {
+            "counters": server.counters(),
+            "clock": server.now,
+            "status": server.status(),
+            "job_table": table,
+            "latency_pairs": (intake_pairs, decision_pairs),
+        }
+
+
+def _shard_worker(
+    spec: ShardSpec, conn, ring_name: str | None, ring_capacity: int
+) -> None:
+    # The coordinator-kill drill must not fell workers: their snapshot
+    # writes would otherwise trip the same env hook the manifest uses.
+    os.environ.pop("REPRO_SERVE_KILL_AFTER", None)
+    kill_after = int(os.environ.get("REPRO_SHARD_KILL_AFTER", "0") or 0)
+    kill_id = int(os.environ.get("REPRO_SHARD_KILL_ID", "-1") or -1)
+    ring = (
+        ShardRing.attach(ring_name, ring_capacity)
+        if ring_name is not None
+        else None
+    )
+    harness = ShardHarness(spec, ring=ring)
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break  # coordinator is gone; die quietly
+            if msg[0] == "stop":
+                conn.send({"ok": True, "value": None})
+                break
+            try:
+                reply = harness.handle(msg)
+            except Exception as exc:  # noqa: BLE001 - forwarded verbatim
+                conn.send(
+                    {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+                )
+            else:
+                conn.send({"ok": True, "value": reply})
+            if (
+                kill_after
+                and spec.shard_id == kill_id
+                and harness.live_batches >= kill_after
+            ):
+                # The shard-worker kill drill: die *after* acking, so the
+                # coordinator discovers the death on its next post.
+                os.kill(os.getpid(), signal.SIGKILL)  # pragma: no cover
+    finally:
+        if ring is not None:
+            ring.close()
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# coordinator-side shard handles
+# ----------------------------------------------------------------------
+
+
+class _InlineShard:
+    """In-process shard (tests, audits): post computes immediately."""
+
+    def __init__(self, spec: ShardSpec) -> None:
+        self.spec = spec
+        self.harness = ShardHarness(spec)
+        self._pending: dict | None = None
+
+    def post(self, msg: tuple) -> None:
+        if msg[0] == "batch":
+            _, arrays, replaying, collect = msg
+            msg = ("batch_inline", arrays, replaying, collect)
+        self._pending = self.harness.handle(msg)
+
+    def collect(self) -> dict | None:
+        pending, self._pending = self._pending, None
+        return pending
+
+    def close(self) -> None:
+        self._pending = None
+
+
+class _ProcShard:
+    """Worker-process shard: ring + pipe, death surfaces as a refusal."""
+
+    def __init__(self, spec: ShardSpec, ctx, ring_capacity: int) -> None:
+        self.spec = spec
+        try:
+            self.ring: ShardRing | None = ShardRing(ring_capacity)
+        except OSError:  # no usable /dev/shm: everything goes inline
+            self.ring = None
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.conn = parent_conn
+        self.proc = ctx.Process(
+            target=_shard_worker,
+            args=(
+                spec,
+                child_conn,
+                None if self.ring is None else self.ring.name,
+                ring_capacity,
+            ),
+            daemon=True,
+        )
+        self.proc.start()
+        # The child owns its pickled copy; closing ours makes worker-side
+        # recv() hit EOF the instant the coordinator dies (spawn start
+        # method: the child holds no stray duplicate of our end).
+        child_conn.close()
+
+    def post(self, msg: tuple) -> None:
+        if msg[0] == "batch":
+            _, (t, s, e), replaying, collect = msg
+            n = int(t.shape[0])
+            if self.ring is not None and n <= self.ring.capacity:
+                self.ring.write(t, s, e)
+                msg = ("batch", n, replaying, collect)
+            else:
+                msg = ("batch_inline", (t, s, e), replaying, collect)
+        try:
+            self.conn.send(msg)
+        except (BrokenPipeError, OSError) as exc:
+            raise OnlineDispatchError(
+                f"shard {self.spec.shard_id} worker died "
+                f"({self._exit_reason()}): cannot post {msg[0]!r}"
+            ) from exc
+
+    def collect(self) -> dict | None:
+        try:
+            reply = self.conn.recv()
+        except (EOFError, OSError) as exc:
+            raise OnlineDispatchError(
+                f"shard {self.spec.shard_id} worker died "
+                f"({self._exit_reason()}) before acknowledging"
+            ) from exc
+        if not reply["ok"]:
+            raise OnlineDispatchError(
+                f"shard {self.spec.shard_id}: {reply['error']}"
+            )
+        return reply["value"]
+
+    def _exit_reason(self) -> str:
+        # Reap first; the pipe EOF usually beats the SIGCHLD bookkeeping.
+        self.proc.join(timeout=1.0)
+        code = self.proc.exitcode
+        if code is None:
+            return "still terminating"
+        if code < 0:
+            return f"killed by signal {-code}"
+        return f"exitcode {code}"
+
+    def close(self) -> None:
+        try:
+            if self.proc.is_alive():
+                self.post(("stop",))
+                self.collect()
+        except OnlineDispatchError:
+            pass
+        self.proc.join(timeout=5.0)
+        if self.proc.is_alive():  # pragma: no cover - stuck worker
+            self.proc.terminate()
+            self.proc.join(timeout=5.0)
+        self.conn.close()
+        if self.ring is not None:
+            self.ring.close()
+            self.ring.unlink()
+            self.ring = None
+
+
+# ----------------------------------------------------------------------
+# router / spec assembly
+# ----------------------------------------------------------------------
+
+
+def build_router(
+    name: str,
+    n_shards: int,
+    policy,
+    slices: list[tuple[int, int]],
+    seed_seq: np.random.SeedSequence,
+) -> ShardRouter:
+    """Assemble the named router for a host partition.
+
+    ``seed_seq`` must already be a spawned child dedicated to routing —
+    the coordinator owns the tree.
+    """
+    if name == "sita":
+        if not isinstance(policy, SITAPolicy):
+            raise ValueError(
+                "the 'sita' router shards by size class and needs a "
+                f"SITAPolicy, got {getattr(policy, 'name', type(policy).__name__)!r}"
+            )
+        boundaries, _ = split_cutoffs(policy.cutoffs, slices)
+        return SitaShardRouter(n_shards, boundaries)
+    if name == "hash":
+        return HashShardRouter(n_shards)
+    if name == "pow2":
+        return PowerOfDRouter(n_shards, seed_seq)
+    raise ValueError(f"unknown shard router {name!r}")
+
+
+def _shard_policies(policy, router_name: str, slices) -> list:
+    if router_name == "sita":
+        _, interiors = split_cutoffs(policy.cutoffs, slices)
+        return [
+            SITAPolicy(interiors[i], name=f"{policy.name}@shard{i}")
+            for i in range(len(slices))
+        ]
+    # Balancing policies run independently inside each shard's subset;
+    # each shard owns a private copy so rotation pointers and RNG state
+    # never alias across processes.
+    return [copy.deepcopy(policy) for _ in slices]
+
+
+def _shard_faults(
+    faults: FaultModel | None, slices
+) -> list[FaultModel | None]:
+    if faults is None:
+        return [None for _ in slices]
+    if faults.hosts is not None:
+        raise ValueError(
+            "per-host fault targeting (FaultModel.hosts) is not supported "
+            "with sharding — shards renumber hosts locally"
+        )
+    children = np.random.SeedSequence(faults.seed).spawn(len(slices))
+    return [
+        dataclasses.replace(
+            faults, seed=int(child.generate_state(1, np.uint32)[0])
+        )
+        for child in children
+    ]
+
+
+# ----------------------------------------------------------------------
+# the coordinator
+# ----------------------------------------------------------------------
+
+
+class ShardedDispatchServer:
+    """Multi-process dispatcher with a deterministic merge.
+
+    Duck-types the :class:`~repro.serve.server.DispatchServer` surface
+    the front ends use (``submit``, ``submit_batch``, ``status``,
+    ``drain``, ``run_stream``, ``counters``, ``now``), so both the CLI
+    driver and the socket front end run sharded unchanged.
+
+    Parameters
+    ----------
+    n_shards, router:
+        Worker-process count and routing family (``"sita"``, ``"hash"``
+        or ``"pow2"``); hosts are partitioned contiguously, as evenly as
+        possible.
+    transport:
+        ``"process"`` (real workers over ring + pipe — the production
+        and soak configuration) or ``"inline"`` (shard harnesses in this
+        process — the fast path for hypothesis tests and audits; the
+        merge code is identical).
+    snapshot_dir, snapshot_every, signature:
+        Two-level crash-safety: per-shard snapshot files plus the
+        coordinator manifest, written every ``snapshot_every``-th
+        *globally offered* job on atomic boundaries (mirroring the
+        unsharded snapshot cadence).  ``signature`` is the configuration
+        description digested into every file's signature guard.
+    """
+
+    def __init__(
+        self,
+        n_hosts: int,
+        policy,
+        *,
+        n_shards: int,
+        router: str = "sita",
+        seed: int = 0,
+        host_speeds: Sequence[float] | None = None,
+        strict: bool | None = None,
+        faults: FaultModel | None = None,
+        heartbeat_interval: float = 5.0,
+        snapshot_dir: str | Path | None = None,
+        snapshot_every: int = 1000,
+        signature: str = "sharded-serve",
+        transport: str = "process",
+        ring_capacity: int = RING_CAPACITY,
+        fast_path: bool = True,
+    ) -> None:
+        if transport not in ("process", "inline"):
+            raise ValueError(f"unknown transport {transport!r}")
+        self.n_hosts = int(n_hosts)
+        self.n_shards = int(n_shards)
+        self.policy = policy
+        self.transport = transport
+        self.snapshot_every = int(snapshot_every)
+        self._slices = partition_hosts(n_hosts, n_shards)
+        root = np.random.SeedSequence(seed)
+        router_seq, *shard_seqs = root.spawn(n_shards + 1)
+        self._router = build_router(
+            router, n_shards, policy, self._slices, router_seq
+        )
+        policies = _shard_policies(policy, router, self._slices)
+        shard_faults = _shard_faults(faults, self._slices)
+        self._desc = (
+            f"{signature}:shards={n_shards}:router={router}:"
+            f"hosts={n_hosts}:seed={seed}"
+        )
+        self._manifest: SnapshotStore | None = None
+        self._shard_paths: list[Path] = []
+        snapshot_dir = None if snapshot_dir is None else Path(snapshot_dir)
+        if snapshot_dir is not None:
+            self._manifest = SnapshotStore(
+                snapshot_dir / "manifest.json",
+                serve_signature(f"{self._desc}:manifest"),
+            )
+            self._shard_paths = [
+                snapshot_dir / f"shard-{i}.json" for i in range(n_shards)
+            ]
+        specs = []
+        for i, (base, count) in enumerate(self._slices):
+            speeds = None
+            if host_speeds is not None:
+                speeds = tuple(float(x) for x in host_speeds[base : base + count])
+            specs.append(
+                ShardSpec(
+                    shard_id=i,
+                    n_shards=n_shards,
+                    n_hosts=count,
+                    host_base=base,
+                    policy=policies[i],
+                    seed=shard_seqs[i],
+                    strict=strict,
+                    faults=shard_faults[i],
+                    host_speeds=speeds,
+                    heartbeat_interval=float(heartbeat_interval),
+                    snapshot_path=(
+                        None
+                        if snapshot_dir is None
+                        else str(self._shard_paths[i])
+                    ),
+                    signature=serve_signature(f"{self._desc}:shard{i}"),
+                    fast_path=fast_path,
+                )
+            )
+        self.specs = specs
+        if transport == "process":
+            ctx = mp.get_context("spawn")
+            self._shards: list = [
+                _ProcShard(spec, ctx, ring_capacity) for spec in specs
+            ]
+        else:
+            self._shards = [_InlineShard(spec) for spec in specs]
+        #: global-index arrays per shard, in post order (the merge map).
+        self._assigned: list[list[np.ndarray]] = [[] for _ in specs]
+        self._offered = 0
+        self._clock = 0.0
+        self._replaying = False
+        self._snap_seq = 0
+        self._wall_ns = 0
+        self._merge_ns = 0
+        self._final: dict | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # the hot path
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._clock
+
+    def submit(
+        self,
+        size: float,
+        arrival: float,
+        size_estimate: float | None = None,
+    ) -> dict:
+        """Offer one job; returns the decision record with a global host."""
+        records = self.submit_batch(
+            [arrival],
+            [size],
+            None if size_estimate is None else [size_estimate],
+            collect=True,
+        )
+        return records[0]
+
+    def submit_batch(
+        self,
+        arrivals: Sequence[float] | np.ndarray,
+        sizes: Sequence[float] | np.ndarray,
+        size_estimates: Sequence[float] | np.ndarray | None = None,
+        collect: bool = False,
+    ) -> list[dict] | int:
+        """Validate, route, fan out, and collect — in submission order.
+
+        Validation is atomic with the exact error text of
+        :meth:`DispatchServer.submit_batch`; per-shard sub-batches are
+        subsequences of a non-decreasing stream, so each shard's own
+        validation never fires after ours passes.
+        """
+        t0 = time.perf_counter_ns()
+        self._check_open()
+        t = np.ascontiguousarray(arrivals, dtype=np.float64)
+        s = np.ascontiguousarray(sizes, dtype=np.float64)
+        if t.ndim != 1 or s.shape != t.shape:
+            raise ValueError(
+                f"arrivals and sizes must be 1-D of equal length, got "
+                f"shapes {t.shape} and {s.shape}"
+            )
+        if size_estimates is None:
+            e = s
+        else:
+            e = np.ascontiguousarray(size_estimates, dtype=np.float64)
+            if e.shape != t.shape:
+                raise ValueError(
+                    f"size_estimates must match arrivals, got shapes "
+                    f"{e.shape} and {t.shape}"
+                )
+        n = int(t.shape[0])
+        if n == 0:
+            return [] if collect else 0
+        bad = ~(np.isfinite(s) & (s > 0))
+        if bad.any():
+            k = int(np.flatnonzero(bad)[0])
+            raise ValueError(
+                f"job size must be positive and finite, got {s[k]}"
+            )
+        if float(t[0]) < self._clock:
+            raise ValueError(
+                f"arrivals must be non-decreasing: got {float(t[0])} at "
+                f"server time {self._clock}"
+            )
+        unordered = np.flatnonzero(np.diff(t) < 0)
+        if unordered.size:
+            k = int(unordered[0])
+            raise ValueError(
+                f"arrivals must be non-decreasing: got {float(t[k + 1])} "
+                f"at server time {float(t[k])}"
+            )
+        self._final = None
+        records: list[dict] | None = [] if collect else None
+        snapshotting = (
+            self._manifest is not None
+            and not self._replaying
+            and self.snapshot_every > 0
+        )
+        pos = 0
+        while pos < n:
+            end = n
+            if snapshotting:
+                # Chunk on global snapshot boundaries, exactly like the
+                # unsharded batch path chunks on its cadence.
+                boundary = (
+                    self._offered // self.snapshot_every + 1
+                ) * self.snapshot_every
+                end = min(n, pos + (boundary - self._offered))
+            self._dispatch_chunk(
+                t[pos:end], s[pos:end], e[pos:end], collect, records
+            )
+            if snapshotting and self._offered % self.snapshot_every == 0:
+                self._snapshot_round()
+            pos = end
+        self._wall_ns += time.perf_counter_ns() - t0
+        if collect:
+            assert records is not None
+            return records
+        return n
+
+    def _dispatch_chunk(
+        self,
+        t: np.ndarray,
+        s: np.ndarray,
+        e: np.ndarray,
+        collect: bool,
+        records: list[dict] | None,
+    ) -> None:
+        first = self._offered
+        route = self._router.route_batch(first, t, s, e)
+        selections: list[np.ndarray] = []
+        for j, shard in enumerate(self._shards):
+            sel = np.flatnonzero(route == j)
+            selections.append(sel)
+            if sel.size:
+                self._assigned[j].append(sel.astype(np.int64) + first)
+                shard.post(
+                    (
+                        "batch",
+                        (t[sel], s[sel], e[sel]),
+                        self._replaying,
+                        collect,
+                    )
+                )
+        # Strictly ordered collection (the SIM106 discipline): shard j's
+        # ack — and its router feedback — is consumed before j+1's,
+        # every round, so router state never depends on scheduling.
+        per_shard_records: dict[int, Iterable[dict]] = {}
+        for j, shard in enumerate(self._shards):
+            if selections[j].size:
+                ack = shard.collect()
+                self._router.observe(j, ack["load"])
+                if collect:
+                    per_shard_records[j] = iter(ack["records"])
+        self._offered = first + int(t.shape[0])
+        self._clock = max(self._clock, float(t[-1]))
+        if collect:
+            assert records is not None
+            for j in route.tolist():
+                rec = next(per_shard_records[j])  # type: ignore[arg-type]
+                if rec.get("host") is not None:
+                    rec = {**rec, "host": rec["host"] + self._slices[j][0]}
+                records.append(rec)
+
+    # ------------------------------------------------------------------
+    # snapshots / resume
+    # ------------------------------------------------------------------
+
+    def _snapshot_round(self) -> None:
+        """All shards snapshot, then the manifest commits the boundary.
+
+        Ordering is the crash-safety argument: shard files land first,
+        the manifest last, every write atomic — so a manifest at ``k``
+        guarantees every shard file is at ``k`` or (crash inside the
+        next round) ``k+1``, never behind.
+        """
+        assert self._manifest is not None
+        seq = self._snap_seq + 1
+        for shard in self._shards:
+            shard.post(("snapshot", seq))
+        shard_counters = []
+        for shard in self._shards:
+            ack = shard.collect()
+            shard_counters.append(ack["counters"])
+        self._snap_seq = seq
+        self._manifest.save(
+            {
+                "seq": seq,
+                "offered": self._offered,
+                "clock": self._clock,
+                "n_shards": self.n_shards,
+                "router": self._router.name,
+                # Post-drain counters differ from replay-only counters
+                # (nothing is in flight any more); the flag tells resume
+                # to re-drain before auditing.
+                "drained": self._final is not None,
+                "shards": shard_counters,
+            }
+        )
+
+    def _validate_shard_snapshots(self, manifest: dict) -> None:
+        seq = int(manifest["seq"])
+        for i, path in enumerate(self._shard_paths):
+            store = SnapshotStore(
+                path, serve_signature(f"{self._desc}:shard{i}")
+            )
+            doc = store.load()
+            if doc is None:
+                raise OnlineDispatchError(
+                    f"resume refused: shard {i} snapshot {path} is missing, "
+                    f"unreadable, or from a different configuration — the "
+                    f"manifest (seq {seq}) cannot restore a consistent "
+                    f"boundary without it"
+                )
+            got = int(doc["seq"])
+            if got < seq:
+                raise OnlineDispatchError(
+                    f"resume refused: shard {i} snapshot {path} is stale "
+                    f"(seq {got} < manifest seq {seq}) — the shard file "
+                    f"predates the manifest's boundary"
+                )
+            if got > seq + 1:
+                raise OnlineDispatchError(
+                    f"resume refused: shard {i} snapshot {path} is ahead "
+                    f"(seq {got} > manifest seq {seq} + 1) — the manifest "
+                    f"is not the latest run's"
+                )
+
+    def _audit_resume(self, manifest: dict) -> None:
+        for shard in self._shards:
+            shard.post(("status",))
+        for i, shard in enumerate(self._shards):
+            got = shard.collect()["counters"]
+            want = manifest["shards"][i]
+            if got != want:
+                diff = {
+                    k: (got.get(k), want.get(k))
+                    for k in sorted(set(got) | set(want))
+                    if got.get(k) != want.get(k)
+                }
+                raise OnlineDispatchError(
+                    f"resume audit failed: deterministic replay of "
+                    f"{manifest['offered']} jobs disagrees with the "
+                    f"manifest on shard {i}: {diff}"
+                )
+
+    # ------------------------------------------------------------------
+    # drain / merge
+    # ------------------------------------------------------------------
+
+    def drain(self) -> None:
+        """Drain every shard and build the merged final report."""
+        t0 = time.perf_counter_ns()
+        self._check_open()
+        for shard in self._shards:
+            shard.post(("drain",))
+        reports = [shard.collect() for shard in self._shards]
+        m0 = time.perf_counter_ns()
+        self._final = self._merge(reports)
+        self._merge_ns += time.perf_counter_ns() - m0
+        self._wall_ns += time.perf_counter_ns() - t0
+        self._clock = float(self._final["clock"])
+        if (
+            self._manifest is not None
+            and not self._replaying
+            and self.snapshot_every > 0
+        ):
+            self._snapshot_round()
+
+    def _merge(self, reports: list[dict]) -> dict:
+        n = self._offered
+        arrival = np.empty(n, dtype=np.float64)
+        size = np.empty(n, dtype=np.float64)
+        start = np.empty(n, dtype=np.float64)
+        comp = np.empty(n, dtype=np.float64)
+        host = np.full(n, -1, dtype=np.int64)
+        filled = np.zeros(n, dtype=bool)
+        counters: dict[str, int] = {}
+        clock = 0.0
+        intake_pairs: list[tuple[int, int]] = []
+        decision_pairs: list[tuple[int, int]] = []
+        per_shard = []
+        for j, rep in enumerate(reports):
+            base = self._slices[j][0]
+            gmap = (
+                np.concatenate(self._assigned[j])
+                if self._assigned[j]
+                else np.empty(0, dtype=np.int64)
+            )
+            table = rep["job_table"]
+            g = gmap[table["index"]]
+            arrival[g] = table["arrival"]
+            size[g] = table["size"]
+            start[g] = table["start"]
+            comp[g] = table["completion"]
+            host[g] = table["host"] + base
+            filled[g] = True
+            for key, value in rep["counters"].items():
+                if key == "deferred_peak":
+                    counters[key] = max(counters.get(key, 0), value)
+                else:
+                    counters[key] = counters.get(key, 0) + value
+            clock = max(clock, float(rep["clock"]))
+            i_pairs, d_pairs = rep["latency_pairs"]
+            intake_pairs.extend(i_pairs)
+            decision_pairs.extend(d_pairs)
+            shard_status = rep["status"]
+            per_shard.append(
+                {
+                    "shard": j,
+                    "hosts": list(self._slices[j]),
+                    "counters": rep["counters"],
+                    "clock": rep["clock"],
+                    "jain_slowdown": shard_status["jain_slowdown"],
+                    "fast_path": shard_status["fast_path"],
+                    "breakers": shard_status["breakers"],
+                    "faults": shard_status["faults"],
+                    "latency": shard_status["latency"],
+                }
+            )
+        holds = counters.get("accepted", 0) == (
+            counters.get("completed", 0)
+            + counters.get("rejected", 0)
+            + counters.get("lost", 0)
+            + counters.get("in_flight", 0)
+        )
+        # Global Jain index from the reconstructed submission-order
+        # arrays, with the fast path's exact expression — mask, stable
+        # completion-order sort, then the same order-sensitive float
+        # reductions — so SITA-sharded merges are bitwise equal to the
+        # unsharded status() value.
+        mask = filled & (comp <= clock)
+        jain = None
+        if mask.any():
+            c = comp[mask]
+            a = arrival[mask]
+            sz = size[mask]
+            order = np.argsort(c, kind="stable")
+            jain = jain_fairness_index((c[order] - a[order]) / sz[order])
+        return {
+            "clock": clock,
+            "counters": counters,
+            "invariant": {
+                "accepted = completed + rejected + lost + in_flight": holds
+            },
+            "jain_slowdown": jain,
+            "latency": self._merged_latency(
+                intake_pairs, decision_pairs, per_shard
+            ),
+            "fast_path": {
+                "engaged_shards": sum(
+                    1 for p in per_shard if p["fast_path"]["engaged"]
+                ),
+                "n_shards": self.n_shards,
+            },
+            "sharding": {
+                "n_shards": self.n_shards,
+                "router": self._router.name,
+                "transport": self.transport,
+                "partition": [list(sl) for sl in self._slices],
+            },
+            "shards": per_shard,
+            "job_table": {
+                "arrival": arrival,
+                "size": size,
+                "start": start,
+                "completion": comp,
+                "host": host,
+                "filled": filled,
+            },
+        }
+
+    def _merged_latency(
+        self,
+        intake_pairs: list[tuple[int, int]],
+        decision_pairs: list[tuple[int, int]],
+        per_shard: list[dict],
+    ) -> dict:
+        if not decision_pairs:
+            return {"decisions": 0}
+        d_ns = np.array([p[0] for p in decision_pairs], dtype=float)
+        counts = np.array([p[1] for p in decision_pairs])
+        i_total = float(sum(p[0] for p in intake_pairs))
+        d_total = float(d_ns.sum())
+        n = int(counts.sum())
+        per_job = np.repeat(d_ns / counts, counts)
+        wall_s = self._wall_ns / 1e9
+        shard_rates = [
+            (p["latency"].get("decisions_per_s") or 0.0)
+            for p in per_shard
+        ]
+        return {
+            "decisions": n,
+            # Sum of per-shard decision rates: the fleet's dispatch
+            # *capacity*.  On a multi-core box it is also roughly the
+            # wall rate; on a starved box the shards time-slice and the
+            # honest wall rate below is the one to watch.
+            "aggregate_decisions_per_s": float(sum(shard_rates)),
+            "wall_decisions_per_s": (
+                float(n / wall_s) if wall_s > 0 else None
+            ),
+            "mean_us": float(per_job.mean() / 1e3),
+            "p50_us": float(np.percentile(per_job, 50) / 1e3),
+            "p95_us": float(np.percentile(per_job, 95) / 1e3),
+            "p99_us": float(np.percentile(per_job, 99) / 1e3),
+            "stages": {
+                "intake_ms": i_total / 1e6,
+                "route_ms": d_total / 1e6,
+                "merge_ms": self._merge_ns / 1e6,
+                "wall_ms": self._wall_ns / 1e6,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def counters(self) -> dict:
+        if self._final is not None:
+            return dict(self._final["counters"])
+        counters: dict[str, int] = {}
+        for shard in self._shards:
+            shard.post(("status",))
+        for shard in self._shards:
+            status = shard.collect()
+            for key, value in status["counters"].items():
+                if key == "deferred_peak":
+                    counters[key] = max(counters.get(key, 0), value)
+                else:
+                    counters[key] = counters.get(key, 0) + value
+        return counters
+
+    def status(self) -> dict:
+        """The merged observability document.
+
+        After :meth:`drain` this is the final report (where the
+        bit-identity guarantees apply, minus the raw ``job_table``
+        arrays, which are not JSON); mid-run it is a live light merge
+        with ``jain_slowdown: None`` — computing the global index
+        mid-run would require shipping every job table on every poll.
+        """
+        if self._final is not None:
+            doc = {
+                k: v for k, v in self._final.items() if k != "job_table"
+            }
+            return doc
+        for shard in self._shards:
+            shard.post(("status",))
+        statuses = [shard.collect() for shard in self._shards]
+        counters: dict[str, int] = {}
+        for status in statuses:
+            for key, value in status["counters"].items():
+                if key == "deferred_peak":
+                    counters[key] = max(counters.get(key, 0), value)
+                else:
+                    counters[key] = counters.get(key, 0) + value
+        holds = counters.get("accepted", 0) == (
+            counters.get("completed", 0)
+            + counters.get("rejected", 0)
+            + counters.get("lost", 0)
+            + counters.get("in_flight", 0)
+        )
+        return {
+            "clock": self._clock,
+            "counters": counters,
+            "invariant": {
+                "accepted = completed + rejected + lost + in_flight": holds
+            },
+            "jain_slowdown": None,
+            "sharding": {
+                "n_shards": self.n_shards,
+                "router": self._router.name,
+                "transport": self.transport,
+                "partition": [list(sl) for sl in self._slices],
+            },
+            "shards": [
+                {
+                    "shard": j,
+                    "counters": statuses[j]["counters"],
+                    "clock": statuses[j]["clock"],
+                    "fast_path": statuses[j]["fast_path"],
+                }
+                for j in range(self.n_shards)
+            ],
+        }
+
+    def merged_job_table(self) -> dict[str, np.ndarray]:
+        """The globally reconstructed per-job arrays (post-drain only)."""
+        if self._final is None:
+            raise OnlineDispatchError(
+                "merged job table is only available after drain()"
+            )
+        return self._final["job_table"]
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+
+    def _submit_many(
+        self, jobs: Sequence[tuple[float, float]], batch_size: int
+    ) -> None:
+        step = max(1, int(batch_size))
+        for i in range(0, len(jobs), step):
+            chunk = jobs[i : i + step]
+            self.submit_batch([a for a, _ in chunk], [s for _, s in chunk])
+
+    def run_stream(
+        self,
+        jobs: Iterable[tuple[float, float]],
+        resume: bool = False,
+        batch_size: int = 1,
+    ) -> dict:
+        """Drive a full ``(arrival, size)`` stream, drain, merge.
+
+        The sharded twin of :meth:`DispatchServer.run_stream`: with
+        ``resume=True`` the manifest names the restore boundary, every
+        shard snapshot is validated against it, the stream prefix is
+        replayed through the same deterministic router, and each shard's
+        replayed counters are audited against the manifest's embedded
+        copies before any new job is offered.
+        """
+        jobs = list(jobs)
+        start = 0
+        if resume:
+            if self._manifest is None:
+                raise ValueError("resume requires a snapshot directory")
+            manifest = self._manifest.load()
+            if manifest is not None:
+                self._validate_shard_snapshots(manifest)
+                start = int(manifest["offered"])
+                if start > len(jobs):
+                    raise OnlineDispatchError(
+                        f"manifest records {start} offered jobs but the "
+                        f"stream has only {len(jobs)}"
+                    )
+                self._replaying = True
+                try:
+                    self._submit_many(jobs[:start], batch_size)
+                    if manifest.get("drained"):
+                        # The boundary was written after a drain, so the
+                        # embedded counters are post-drain; replay the
+                        # drain too before auditing (snapshot writes stay
+                        # suppressed by the replay flag).
+                        self.drain()
+                finally:
+                    self._replaying = False
+                self._audit_resume(manifest)
+                self._snap_seq = int(manifest["seq"])
+        self._submit_many(jobs[start:], batch_size)
+        self.drain()
+        return self.status()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise OnlineDispatchError("the sharded server has been closed")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            shard.close()
+
+    def __enter__(self) -> "ShardedDispatchServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

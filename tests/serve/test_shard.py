@@ -1,0 +1,481 @@
+"""Sharded dispatch engine: routers, rings, bit-identical merge, crashes.
+
+The load-bearing claim (ISSUE 10): a fault-free SITA-sharded run merges
+**bit-identically** to the unsharded :class:`DispatchServer` on the same
+policy and seed — counters, clock, the global Jain index, and the
+per-job host/start/completion arrays.  The grid test below asserts it
+across shard counts {1, 2, 4} × batch sizes {1, 256, 1024} with
+hypothesis-drawn workloads; the subprocess tests SIGKILL the coordinator
+and a shard worker mid-soak and require ``--resume`` to restore the same
+bits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policies import LeastWorkLeftPolicy, SITAPolicy
+from repro.serve import DispatchServer, OnlineDispatchError, ShardedDispatchServer
+from repro.serve.router import (
+    HashShardRouter,
+    PowerOfDRouter,
+    SitaShardRouter,
+    partition_hosts,
+    split_cutoffs,
+)
+from repro.serve.shard import ShardRing
+
+
+def stream(n=600, seed=9):
+    rng = np.random.default_rng(seed)
+    arrivals = np.concatenate([[0.0], np.cumsum(rng.exponential(1.0, n - 1))])
+    sizes = rng.pareto(1.5, n) + 0.5
+    return list(zip(arrivals.tolist(), sizes.tolist()))
+
+
+def sita_cutoffs(jobs, n_hosts=4):
+    sizes = np.array([s for _, s in jobs])
+    qs = np.linspace(0, 1, n_hosts + 1)[1:-1]
+    return [float(np.quantile(sizes, q)) for q in qs]
+
+
+def run_unsharded(jobs, cutoffs):
+    server = DispatchServer(4, SITAPolicy(cutoffs, name="sita-t"), seed=0)
+    status = server.run_stream(jobs, batch_size=256)
+    return server, status
+
+
+# ---------------------------------------------------------------------------
+# routers
+# ---------------------------------------------------------------------------
+
+
+class TestPartitionHosts:
+    def test_even_split(self):
+        assert partition_hosts(8, 4) == [(0, 2), (2, 2), (4, 2), (6, 2)]
+
+    def test_remainder_goes_to_the_front(self):
+        assert partition_hosts(5, 2) == [(0, 3), (3, 2)]
+
+    def test_more_shards_than_hosts_refused(self):
+        with pytest.raises(ValueError, match="cannot partition"):
+            partition_hosts(2, 3)
+
+
+class TestSitaRouter:
+    @given(
+        n_hosts=st.integers(2, 8),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_two_level_searchsorted_composes_to_global(self, n_hosts, data):
+        """``base_j + searchsorted(interior_j, e)`` == the global route —
+        the identity the whole bit-identity guarantee rests on."""
+        raw = data.draw(
+            st.lists(
+                st.floats(0.1, 1e6, allow_nan=False, allow_infinity=False),
+                min_size=n_hosts - 1,
+                max_size=n_hosts - 1,
+                unique=True,
+            )
+        )
+        cutoffs = np.sort(np.array(raw, dtype=np.float64))
+        n_shards = data.draw(st.integers(1, n_hosts))
+        slices = partition_hosts(n_hosts, n_shards)
+        boundaries, interiors = split_cutoffs(cutoffs, slices)
+        router = (
+            SitaShardRouter(n_shards, boundaries) if n_shards > 1 else None
+        )
+        drawn = data.draw(
+            st.lists(
+                st.floats(0.05, 2e6, allow_nan=False, allow_infinity=False),
+                min_size=1,
+                max_size=32,
+            )
+        )
+        # include the cutoffs themselves: the boundary-equality edge case
+        estimates = np.array(drawn + cutoffs.tolist(), dtype=np.float64)
+        if router is None:
+            routes = np.zeros(estimates.size, dtype=np.int64)
+        else:
+            routes = router.route_batch(
+                0, estimates, estimates, estimates
+            )
+        global_hosts = np.searchsorted(cutoffs, estimates, side="left")
+        for e, j, g in zip(estimates, routes, global_hosts):
+            base, count = slices[j]
+            local = int(np.searchsorted(interiors[j], e, side="left"))
+            assert base + local == g
+            assert base <= g < base + count
+
+    def test_boundary_count_validated(self):
+        with pytest.raises(ValueError, match="boundary cutoffs"):
+            SitaShardRouter(3, np.array([1.0]))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            SitaShardRouter(3, np.array([2.0, 1.0]))
+
+
+class TestHashRouter:
+    def test_deterministic_and_in_range(self):
+        a = HashShardRouter(4)
+        b = HashShardRouter(4)
+        x = np.zeros(512)
+        ra = a.route_batch(100, x, x, x)
+        rb = b.route_batch(100, x, x, x)
+        assert np.array_equal(ra, rb)
+        assert ra.min() >= 0 and ra.max() < 4
+        # 512 consecutive keys over a 64-replica ring touch every shard
+        assert set(ra.tolist()) == {0, 1, 2, 3}
+
+    def test_routing_is_a_function_of_the_global_index(self):
+        router = HashShardRouter(4)
+        x = np.zeros(16)
+        first = router.route_batch(32, x, x, x)
+        again = router.route_batch(32, x, x, x)
+        assert np.array_equal(first, again)
+
+
+class TestPowerOfDRouter:
+    def test_whole_batch_to_one_shard(self):
+        router = PowerOfDRouter(4, np.random.SeedSequence(1), d=2)
+        sizes = np.ones(32)
+        routes = router.route_batch(0, sizes, sizes, sizes)
+        assert len(set(routes.tolist())) == 1
+
+    def test_observe_steers_away_from_reported_backlog(self):
+        # d == n_shards: the sample is always {0, 1}, so the choice is
+        # purely the backlog comparison.
+        router = PowerOfDRouter(2, np.random.SeedSequence(1), d=2)
+        router.observe(0, {"backlog": 1e9})
+        router.observe(1, {"backlog": 0.0})
+        sizes = np.ones(8)
+        assert set(router.route_batch(0, sizes, sizes, sizes).tolist()) == {1}
+
+    def test_same_seed_same_choices(self):
+        sizes = np.ones(4)
+        seqs = []
+        for _ in range(2):
+            router = PowerOfDRouter(4, np.random.SeedSequence(7), d=2)
+            seqs.append(
+                [
+                    int(router.route_batch(i, sizes, sizes, sizes)[0])
+                    for i in range(20)
+                ]
+            )
+        assert seqs[0] == seqs[1]
+
+
+# ---------------------------------------------------------------------------
+# shared-memory ring
+# ---------------------------------------------------------------------------
+
+
+class TestShardRing:
+    def test_round_trip(self):
+        try:
+            ring = ShardRing(1024)
+        except OSError:
+            pytest.skip("no usable /dev/shm")
+        try:
+            t = np.arange(10, dtype=np.float64)
+            s = t + 0.5
+            e = t + 0.25
+            ring.write(t, s, e)
+            rt, rs, re_ = ring.read(10)
+            assert np.array_equal(rt, t)
+            assert np.array_equal(rs, s)
+            assert np.array_equal(re_, e)
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_attach_sees_the_same_columns(self):
+        try:
+            ring = ShardRing(64)
+        except OSError:
+            pytest.skip("no usable /dev/shm")
+        try:
+            t = np.array([1.0, 2.0])
+            ring.write(t, t * 2, t * 3)
+            other = ShardRing.attach(ring.name, 64)
+            try:
+                rt, rs, re_ = other.read(2)
+                assert np.array_equal(rs, t * 2)
+            finally:
+                other.close()
+        finally:
+            ring.close()
+            ring.unlink()
+
+
+# ---------------------------------------------------------------------------
+# bit-identity: the tentpole guarantee
+# ---------------------------------------------------------------------------
+
+
+class TestSitaBitIdentity:
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    @pytest.mark.parametrize("batch_size", [1, 256, 1024])
+    @given(seed=st.integers(0, 2**16 - 1))
+    @settings(max_examples=3, deadline=None)
+    def test_merge_is_bit_identical_to_unsharded(
+        self, n_shards, batch_size, seed
+    ):
+        jobs = stream(400, seed=seed)
+        cutoffs = sita_cutoffs(jobs)
+        ref_server = DispatchServer(
+            4, SITAPolicy(cutoffs, name="sita-t"), seed=0
+        )
+        reference = ref_server.run_stream(jobs, batch_size=batch_size)
+
+        sharded = ShardedDispatchServer(
+            4,
+            SITAPolicy(cutoffs, name="sita-t"),
+            n_shards=n_shards,
+            router="sita",
+            seed=0,
+            transport="inline",
+        )
+        with sharded:
+            status = sharded.run_stream(jobs, batch_size=batch_size)
+            merged = sharded.merged_job_table()
+
+        assert status["counters"] == reference["counters"]
+        assert status["clock"] == reference["clock"]
+        assert status["jain_slowdown"] == reference["jain_slowdown"]
+        assert all(status["invariant"].values())
+
+        table = ref_server.job_table()
+        assert np.array_equal(merged["host"], table["host"])
+        assert np.array_equal(merged["start"], table["start"])
+        assert np.array_equal(merged["completion"], table["completion"])
+
+    def test_process_transport_matches_too(self):
+        jobs = stream(400)
+        cutoffs = sita_cutoffs(jobs)
+        _, reference = run_unsharded(jobs, cutoffs)
+        sharded = ShardedDispatchServer(
+            4,
+            SITAPolicy(cutoffs, name="sita-t"),
+            n_shards=2,
+            router="sita",
+            seed=0,
+            transport="process",
+        )
+        with sharded:
+            status = sharded.run_stream(jobs, batch_size=256)
+        assert status["counters"] == reference["counters"]
+        assert status["clock"] == reference["clock"]
+        assert status["jain_slowdown"] == reference["jain_slowdown"]
+
+
+class TestOtherRouters:
+    @pytest.mark.parametrize("router", ["hash", "pow2"])
+    def test_invariant_holds_and_every_job_is_accounted(self, router):
+        jobs = stream(400)
+        server = ShardedDispatchServer(
+            4,
+            LeastWorkLeftPolicy(),
+            n_shards=2,
+            router=router,
+            seed=3,
+            transport="inline",
+        )
+        with server:
+            status = server.run_stream(jobs, batch_size=64)
+            merged = server.merged_job_table()
+        assert all(status["invariant"].values())
+        assert status["counters"]["accepted"] == len(jobs)
+        assert bool(merged["filled"].all())
+
+    def test_sita_router_requires_a_sita_policy(self):
+        with pytest.raises(ValueError, match="sita"):
+            ShardedDispatchServer(
+                4,
+                LeastWorkLeftPolicy(),
+                n_shards=2,
+                router="sita",
+                transport="inline",
+            )
+
+
+# ---------------------------------------------------------------------------
+# snapshots, resume, refusal diagnostics
+# ---------------------------------------------------------------------------
+
+
+def make_sharded(tmp, cutoffs, **kw):
+    kw.setdefault("transport", "inline")
+    return ShardedDispatchServer(
+        4,
+        SITAPolicy(cutoffs, name="sita-t"),
+        n_shards=2,
+        router="sita",
+        seed=0,
+        snapshot_dir=tmp,
+        snapshot_every=150,
+        **kw,
+    )
+
+
+class TestShardedResume:
+    def test_resume_replays_to_the_same_bits(self, tmp_path):
+        jobs = stream(600)
+        cutoffs = sita_cutoffs(jobs)
+        with make_sharded(tmp_path / "ref", cutoffs) as ref:
+            reference = ref.run_stream(jobs)
+
+        with make_sharded(tmp_path / "x", cutoffs) as first:
+            first.run_stream(jobs)
+        with make_sharded(tmp_path / "x", cutoffs) as resumed:
+            status = resumed.run_stream(jobs, resume=True)
+        assert status["counters"] == reference["counters"]
+        assert status["clock"] == reference["clock"]
+        assert status["jain_slowdown"] == reference["jain_slowdown"]
+
+    def test_missing_shard_snapshot_refused_with_diagnosis(self, tmp_path):
+        jobs = stream(600)
+        cutoffs = sita_cutoffs(jobs)
+        with make_sharded(tmp_path, cutoffs) as first:
+            first.run_stream(jobs)
+        (tmp_path / "shard-1.json").unlink()
+        with make_sharded(tmp_path, cutoffs) as resumed:
+            with pytest.raises(
+                OnlineDispatchError, match="shard 1 snapshot .* is missing"
+            ):
+                resumed.run_stream(jobs, resume=True)
+
+    def test_stale_shard_snapshot_refused(self, tmp_path):
+        jobs = stream(600)
+        cutoffs = sita_cutoffs(jobs)
+        with make_sharded(tmp_path, cutoffs) as first:
+            first.run_stream(jobs)
+        path = tmp_path / "shard-1.json"
+        doc = json.loads(path.read_text())
+        doc["seq"] = 0
+        path.write_text(json.dumps(doc))
+        with make_sharded(tmp_path, cutoffs) as resumed:
+            with pytest.raises(OnlineDispatchError, match="stale"):
+                resumed.run_stream(jobs, resume=True)
+
+    def test_tampered_manifest_counters_fail_the_audit(self, tmp_path):
+        jobs = stream(600)
+        cutoffs = sita_cutoffs(jobs)
+        with make_sharded(tmp_path, cutoffs) as first:
+            first.run_stream(jobs)
+        path = tmp_path / "manifest.json"
+        doc = json.loads(path.read_text())
+        doc["shards"][0]["completed"] += 1
+        path.write_text(json.dumps(doc))
+        with make_sharded(tmp_path, cutoffs) as resumed:
+            with pytest.raises(OnlineDispatchError, match="resume audit failed"):
+                resumed.run_stream(jobs, resume=True)
+
+
+# ---------------------------------------------------------------------------
+# worker death surfaces as a diagnosable refusal
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerDeath:
+    def test_killed_worker_is_reported_by_shard_id(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_KILL_AFTER", "1")
+        monkeypatch.setenv("REPRO_SHARD_KILL_ID", "0")
+        jobs = stream(400)
+        cutoffs = sita_cutoffs(jobs)
+        server = ShardedDispatchServer(
+            4,
+            SITAPolicy(cutoffs, name="sita-t"),
+            n_shards=2,
+            router="sita",
+            seed=0,
+            transport="process",
+        )
+        with server:
+            with pytest.raises(OnlineDispatchError, match="shard 0 worker died"):
+                server.run_stream(jobs, batch_size=64)
+
+
+# ---------------------------------------------------------------------------
+# real SIGKILL of the coordinator and of a shard worker (CI soak in
+# miniature), plus CLI-level bit-identity against --shards 0
+# ---------------------------------------------------------------------------
+
+
+class TestRealSigkill:
+    ARGS = [
+        "serve", "c90", "--policy", "sita", "--hosts", "4", "--jobs", "500",
+        "--load", "0.7", "--seed", "5", "--batch-size", "64",
+        "--snapshot-every", "125", "--shards", "2", "--router", "sita",
+    ]
+
+    def run_cli(self, snapshot, extra=(), env_extra=None, shards=True):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        for key in ("REPRO_SERVE_KILL_AFTER", "REPRO_SHARD_KILL_AFTER",
+                    "REPRO_SHARD_KILL_ID"):
+            env.pop(key, None)
+        if env_extra:
+            env.update(env_extra)
+        args = list(self.ARGS)
+        if not shards:
+            args = args[: args.index("--shards")]
+        if snapshot is not None:
+            args += ["--snapshot", str(snapshot)]
+        return subprocess.run(
+            [sys.executable, "-m", "repro.cli", *args, *extra],
+            capture_output=True, text=True, env=env,
+            cwd=Path(__file__).resolve().parents[2],
+        )
+
+    @pytest.fixture(scope="class")
+    def reference(self, tmp_path_factory):
+        ref = self.run_cli(None, shards=False)
+        assert ref.returncode == 0, ref.stderr
+        return json.loads(ref.stdout)
+
+    def test_coordinator_sigkill_then_resume_matches_unsharded(
+        self, tmp_path, reference
+    ):
+        killed = self.run_cli(
+            tmp_path / "snap", env_extra={"REPRO_SERVE_KILL_AFTER": "2"}
+        )
+        assert killed.returncode in (-signal.SIGKILL, 137), killed.stderr
+
+        resumed = self.run_cli(tmp_path / "snap", extra=["--resume"])
+        assert resumed.returncode == 0, resumed.stderr
+        status = json.loads(resumed.stdout)
+        assert status["counters"] == reference["counters"]
+        assert status["clock"] == reference["clock"]
+        assert status["jain_slowdown"] == reference["jain_slowdown"]
+        assert all(status["invariant"].values())
+
+    def test_shard_worker_sigkill_then_resume_matches_unsharded(
+        self, tmp_path, reference
+    ):
+        killed = self.run_cli(
+            tmp_path / "snap",
+            env_extra={
+                "REPRO_SHARD_KILL_AFTER": "2",
+                "REPRO_SHARD_KILL_ID": "1",
+            },
+        )
+        assert killed.returncode == 1
+        assert "worker died" in killed.stderr
+
+        resumed = self.run_cli(tmp_path / "snap", extra=["--resume"])
+        assert resumed.returncode == 0, resumed.stderr
+        status = json.loads(resumed.stdout)
+        assert status["counters"] == reference["counters"]
+        assert status["clock"] == reference["clock"]
+        assert status["jain_slowdown"] == reference["jain_slowdown"]

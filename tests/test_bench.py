@@ -8,7 +8,9 @@ import os
 import pytest
 
 from repro.bench import (
+    FAMILY_NAMES,
     SCHEMA_VERSION,
+    BenchSelectionError,
     default_output_path,
     main,
     render,
@@ -47,6 +49,8 @@ class TestRunBenchmarks:
             "search.analytic_sweep",
             "experiment.fig2.serial",
             "experiment.fig2.parallel",
+            "serve.dispatch",
+            "serve.dispatch.sharded",
         } <= names
 
     def test_search_entries_record_equivalence_and_speedups(self, quick_doc):
@@ -83,17 +87,63 @@ class TestRunBenchmarks:
         assert par["rows_identical_to_serial"] is True
         assert par["workers"] == 2
         assert par["speedup_vs_serial"] > 0
+        # the parallel row carries its own honesty flag, mirroring the
+        # environment's, so a starved-box point is discountable per entry
+        cpus = os.cpu_count() or 1
+        assert par["oversubscribed"] is (2 > cpus)
+
+    def test_sharded_entries_cover_the_shard_ladder(self, quick_doc):
+        rows = [
+            e
+            for e in quick_doc["entries"]
+            if e["name"] == "serve.dispatch.sharded"
+        ]
+        assert sorted(r["n_shards"] for r in rows) == [1, 2, 4]
+        for row in rows:
+            assert row["invariant_holds"] is True
+            assert row["router"] == "sita"
+            assert row["aggregate_decisions_per_s"] > 0
+            assert row["wall_decisions_per_s"] > 0
+            assert row["merge_ms"] >= 0
+            assert len(row["per_shard"]) == row["n_shards"]
+            assert row["speedup_vs_pr9"] > 0
 
     def test_document_is_json_serializable(self, quick_doc):
         assert json.loads(json.dumps(quick_doc)) == quick_doc
 
 
+class TestOnlySelection:
+    def test_only_runs_the_matching_families(self):
+        doc = run_benchmarks(quick=True, workers=2, scale=0.02,
+                             only="experiment.fig2")
+        names = {e["name"] for e in doc["entries"]}
+        assert names == {"experiment.fig2.serial", "experiment.fig2.parallel"}
+        assert doc["only"] == "experiment.fig2"
+
+    def test_unmatched_glob_raises_listing_families(self):
+        with pytest.raises(BenchSelectionError) as err:
+            run_benchmarks(quick=True, only="nope.*")
+        for family in FAMILY_NAMES:
+            assert family in str(err.value)
+
+    def test_cli_unmatched_glob_exits_2(self, tmp_path, capsys):
+        rc = main(["--quick", "--only", "nope.*", "--out",
+                   str(tmp_path / "x.json")])
+        assert rc == 2
+        assert "matches no benchmark family" in capsys.readouterr().err
+
+    def test_full_run_records_no_filter(self, quick_doc):
+        assert quick_doc["only"] is None
+
+
 class TestResolveWorkers:
-    def test_default_capped_at_core_count(self):
+    def test_default_floors_at_two_and_caps_at_four(self):
         cpus = os.cpu_count() or 1
         workers, oversubscribed = resolve_workers(None)
-        assert workers == min(4, cpus)
-        assert oversubscribed is False
+        assert workers == min(4, max(2, cpus))
+        # on a box with >= 2 cores the default never oversubscribes; on
+        # a 1-core box the 2-worker floor does, and must say so
+        assert oversubscribed is (workers > cpus)
 
     def test_forced_workers_honoured_and_flagged(self):
         cpus = os.cpu_count() or 1
